@@ -1,0 +1,149 @@
+// ccfsim runs a single redistribution scenario end to end: generate (or
+// load) a workload, place it with a chosen application-level scheduler,
+// and measure the shuffle on the simulated fabric under a chosen coflow
+// scheduler. It is the CLI equivalent of one point of the paper's figures,
+// with every knob exposed.
+//
+// Usage:
+//
+//	ccfsim -nodes 100 -zipf 0.8 -skew 0.2 -placer ccf
+//	ccfsim -nodes 50 -placer mini -coflow fair -eventsim
+//	ccfsim -trace shuffle.txt -coflow varys     # simulate a CoflowSim trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccf/internal/coflow"
+	"ccf/internal/core"
+	"ccf/internal/netsim"
+	"ccf/internal/placement"
+	"ccf/internal/trace"
+	"ccf/internal/workload"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 100, "cluster size n")
+		parts     = flag.Int("partitions", 0, "partition count p (0 = 15n)")
+		zipf      = flag.Float64("zipf", workload.DefaultZipf, "zipf factor for chunk sizes over nodes")
+		skewFrac  = flag.Float64("skew", workload.DefaultSkew, "fraction of ORDERS re-keyed to the hot key")
+		scale     = flag.Float64("scale", 0.01, "dataset scale factor (1.0 = paper's ≈1 TB)")
+		placer    = flag.String("placer", "ccf", "application-level scheduler: hash, mini, ccf, ccf-nosort, lpt, random")
+		coflowSch = flag.String("coflow", "varys", "coflow scheduler for -eventsim/-trace: varys, aalo, fifo, scf, ncf, fair, sequential")
+		bandwidth = flag.Float64("bw", 0, "port bandwidth bytes/sec (0 = 128 MB/s)")
+		eventSim  = flag.Bool("eventsim", false, "run the flow-level event simulator")
+		traceFile = flag.String("trace", "", "simulate a CoflowSim benchmark trace instead of a generated workload")
+		seed      = flag.Uint64("seed", 0, "workload seed")
+	)
+	flag.Parse()
+
+	if *traceFile != "" {
+		if err := runTrace(*traceFile, *coflowSch, *bandwidth); err != nil {
+			fmt.Fprintln(os.Stderr, "ccfsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runWorkload(*nodes, *parts, *zipf, *skewFrac, *scale, *placer, *bandwidth, *eventSim, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ccfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func pickPlacer(name string) (placement.Scheduler, bool, error) {
+	switch name {
+	case "hash":
+		return placement.Hash{}, false, nil
+	case "mini":
+		return placement.Mini{}, true, nil
+	case "ccf":
+		return placement.CCF{}, true, nil
+	case "ccf-nosort":
+		return placement.CCF{NoSort: true}, true, nil
+	case "lpt":
+		return placement.LPT{}, false, nil
+	case "random":
+		return placement.Random{Seed: 1}, false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown placer %q", name)
+	}
+}
+
+func pickCoflowScheduler(name string) (coflow.Scheduler, error) {
+	switch name {
+	case "varys":
+		return coflow.NewVarys(), nil
+	case "aalo":
+		return coflow.NewAalo(), nil
+	case "fifo":
+		return coflow.NewFIFO(), nil
+	case "scf":
+		return coflow.NewSCF(), nil
+	case "ncf":
+		return coflow.NewNCF(), nil
+	case "fair":
+		return coflow.PerFlowFair{}, nil
+	case "sequential":
+		return coflow.SequentialByDest{}, nil
+	default:
+		return nil, fmt.Errorf("unknown coflow scheduler %q", name)
+	}
+}
+
+func runWorkload(nodes, parts int, zipf, skewFrac, scale float64, placer string, bw float64, eventSim bool, seed uint64) error {
+	sched, handleSkew, err := pickPlacer(placer)
+	if err != nil {
+		return err
+	}
+	w, err := workload.Generate(workload.Config{
+		Nodes: nodes, Partitions: parts, Zipf: zipf, Skew: skewFrac, Seed: seed,
+		CustomerTuples: int64(scale * workload.DefaultCustomerTuples),
+		OrderTuples:    int64(scale * workload.DefaultOrderTuples),
+	})
+	if err != nil {
+		return err
+	}
+	res, err := core.RunScheduler(w, sched, handleSkew, core.Options{Bandwidth: bw, UseEventSim: eventSim})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: n=%d p=%d zipf=%g skew=%g total=%.2f GB\n",
+		nodes, w.Config.Partitions, zipf, skewFrac, float64(w.TotalBytes())/1e9)
+	fmt.Printf("placer:   %s (skew handling: %v)\n", res.Approach, res.SkewHandled)
+	fmt.Printf("traffic:  %.2f GB over the network\n", res.TrafficGB())
+	fmt.Printf("bottleneck port load: %.2f GB\n", float64(res.BottleneckBytes)/1e9)
+	fmt.Printf("communication time:   %.2f s\n", res.TimeSec)
+	return nil
+}
+
+func runTrace(path, coflowSch string, bw float64) error {
+	sched, err := pickCoflowScheduler(coflowSch)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Parse(f)
+	if err != nil {
+		return err
+	}
+	fabric, err := netsim.NewFabric(tr.NumRacks, bw)
+	if err != nil {
+		return err
+	}
+	rep, err := netsim.NewSimulator(fabric, sched).Run(tr.Coflows())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace:    %s (%d racks, %d jobs)\n", path, tr.NumRacks, len(tr.Jobs))
+	fmt.Printf("coflow scheduler: %s\n", sched.Name())
+	fmt.Printf("makespan: %.3f s   avg CCT: %.3f s   max CCT: %.3f s\n", rep.Makespan, rep.AvgCCT, rep.MaxCCT)
+	fmt.Printf("moved:    %.2f GB in %d scheduling epochs\n", rep.TotalBytes/1e9, rep.Epochs)
+	return nil
+}

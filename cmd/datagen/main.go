@@ -1,0 +1,117 @@
+// datagen emits workloads in the CoflowSim "benchmark" trace format so CCF's
+// schedules can be replayed by the original Varys/Aalo tooling (the paper's
+// Figure 4 pipeline: scheduling output → coflow info → simulator).
+//
+// For a given workload and placer it writes one trace whose jobs encode the
+// shuffle flows the placement induces.
+//
+// Usage:
+//
+//	datagen -nodes 50 -placer ccf -o shuffle_ccf.txt
+//	datagen -nodes 50 -placer hash -scale 0.001 -o shuffle_hash.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccf/internal/partition"
+	"ccf/internal/placement"
+	"ccf/internal/skew"
+	"ccf/internal/trace"
+	"ccf/internal/workload"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 50, "cluster size n")
+		parts    = flag.Int("partitions", 0, "partition count p (0 = 15n)")
+		zipf     = flag.Float64("zipf", workload.DefaultZipf, "zipf factor")
+		skewFrac = flag.Float64("skew", workload.DefaultSkew, "skew fraction")
+		scale    = flag.Float64("scale", 0.01, "dataset scale (1.0 = ≈1 TB)")
+		placer   = flag.String("placer", "ccf", "hash, mini, ccf")
+		out      = flag.String("o", "", "output file (default stdout)")
+		seed     = flag.Uint64("seed", 0, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*nodes, *parts, *zipf, *skewFrac, *scale, *placer, *out, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodes, parts int, zipfF, skewFrac, scale float64, placer, out string, seed uint64) error {
+	var sched placement.Scheduler
+	handleSkew := false
+	switch placer {
+	case "hash":
+		sched = placement.Hash{}
+	case "mini":
+		sched, handleSkew = placement.Mini{}, true
+	case "ccf":
+		sched, handleSkew = placement.CCF{}, true
+	default:
+		return fmt.Errorf("unknown placer %q", placer)
+	}
+
+	w, err := workload.Generate(workload.Config{
+		Nodes: nodes, Partitions: parts, Zipf: zipfF, Skew: skewFrac, Seed: seed,
+		CustomerTuples: int64(scale * workload.DefaultCustomerTuples),
+		OrderTuples:    int64(scale * workload.DefaultOrderTuples),
+	})
+	if err != nil {
+		return err
+	}
+
+	matrix := w.Chunks
+	var initial *partition.Loads
+	var broadcast []int64
+	if handleSkew && w.SkewPartition >= 0 {
+		plan := skew.PartialDuplication(w)
+		if err := plan.Validate(w.Chunks); err != nil {
+			return err
+		}
+		matrix, initial, broadcast = plan.Adjusted, plan.Initial, plan.BroadcastVolumes
+	}
+	pl, err := sched.Place(matrix, initial)
+	if err != nil {
+		return err
+	}
+	vol, err := partition.FlowVolumes(matrix, pl)
+	if err != nil {
+		return err
+	}
+	for i, b := range broadcast {
+		vol[i] += b
+	}
+
+	tr, err := trace.FromVolumes(nodes, vol, 0)
+	if err != nil {
+		return err
+	}
+
+	dst := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := trace.Write(dst, tr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "datagen: %d jobs over %d racks (%s placement, %.2f GB shuffle)\n",
+		len(tr.Jobs), nodes, sched.Name(), float64(sum(vol))/1e9)
+	return nil
+}
+
+func sum(v []int64) int64 {
+	var s int64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+// job_batch: a batch of analytical jobs sharing the fabric. Each job is a
+// multi-stage plan; within a job, stage coflows chain by dependency, and
+// across jobs the coflow scheduler multiplexes the network. The example
+// contrasts the batched DAG simulation under Varys (SEBF) and per-flow
+// fair sharing: with work conservation the makespan is pinned to the shared
+// bottleneck either way, but coflow-aware scheduling completes the small
+// jobs far earlier — the job-level payoff of the coflow abstraction the
+// paper builds on.
+//
+//	go run ./examples/job_batch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ccf/internal/coflow"
+	"ccf/internal/placement"
+	"ccf/internal/query"
+)
+
+func main() {
+	const n = 16
+	rng := rand.New(rand.NewSource(7))
+	l := query.NewTable("L", n, 1000)
+	r := query.NewTable("R", n, 1000)
+	for i := 0; i < 120_000; i++ {
+		node := rng.Intn(n)
+		l.Frags[node] = append(l.Frags[node],
+			query.Row{Key: int64(rng.Intn(1500) + 1), Value: int64(rng.Intn(40))})
+	}
+	for i := 0; i < 360_000; i++ {
+		node := rng.Intn(n)
+		r.Frags[node] = append(r.Frags[node],
+			query.Row{Key: int64(rng.Intn(1500) + 1), Value: int64(rng.Intn(40))})
+	}
+	exec, err := query.NewExecutor(query.Config{Nodes: n, Scheduler: placement.CCF{}}, l, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mustParse := func(src string) query.Node {
+		p, err := query.ParsePlan(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	jobs := []query.BatchJob{
+		{Name: "report", Arrival: 0, Plan: mustParse("aggregate(rekeydiv(join(L, R), 50), partial)")},
+		{Name: "dedup", Arrival: 0, Plan: mustParse("distinct(rekeymod(R, 97))")},
+		{Name: "rollup", Arrival: 0, Plan: mustParse("aggregate(rekeymod(L, 100), partial)")},
+		{Name: "widejoin", Arrival: 0.1, Plan: mustParse("aggregate(join(L, R))")},
+	}
+
+	for _, sched := range []coflow.Scheduler{coflow.NewVarys(), coflow.PerFlowFair{}} {
+		res, err := exec.ExecuteBatch(jobs, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch under %s:\n", sched.Name())
+		for ji, job := range jobs {
+			fmt.Printf("  %-9s arrives %.1f s  stages %d  isolated net time %7.3f s  completes at %7.3f s\n",
+				job.Name, job.Arrival, len(res.Results[ji].Stages),
+				res.Results[ji].TotalTimeSec, res.JobCompletion[ji])
+		}
+		var avg float64
+		for ji, c := range res.JobCompletion {
+			avg += c - jobs[ji].Arrival
+		}
+		avg /= float64(len(jobs))
+		fmt.Printf("  batch makespan %.3f s (sequential floor %.3f s), avg job latency %.3f s\n\n",
+			res.Makespan, res.SequentialTimeSec, avg)
+	}
+	fmt.Println("All four shuffles are all-to-all, so they share every port and the batch")
+	fmt.Println("makespan sits at the work-conserving floor either way — but the coflow-")
+	fmt.Println("aware scheduler (SEBF) finishes the small jobs far earlier than per-flow")
+	fmt.Println("fairness does, cutting the average job latency.")
+}

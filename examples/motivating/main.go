@@ -1,0 +1,51 @@
+// Motivating: reproduces the worked example of the paper's Figures 1 and 2
+// — three nodes, eight chunks of four join keys — and shows step by step why
+// co-optimization wins: the traffic-optimal plan SP2 moves 6 tuples but
+// completes in 4 time units, while the traffic-suboptimal SP1 moves 7 tuples
+// and completes in 3. CCF's Algorithm 1 recovers SP1, and the branch & bound
+// solver certifies that its bottleneck T = 3 is optimal.
+//
+//	go run ./examples/motivating
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccf/internal/core"
+)
+
+func main() {
+	res, err := core.MotivatingExample()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Input (Figure 1): key^frequency chunks on three nodes")
+	fmt.Println("  node 0: 1^3 2^1 0^3")
+	fmt.Println("  node 1: 1^6 2^2 5^1")
+	fmt.Println("  node 2: 5^2 0^1")
+	fmt.Println()
+	fmt.Println("Partitions (by join key): 0, 1, 2, 5 — every tuple with the same key")
+	fmt.Println("must end up on one node for the local joins.")
+	fmt.Println()
+
+	show := func(p core.MotivatingPlan, label string) {
+		fmt.Printf("%s (destinations per key %v):\n", label, p.Placement.Dest)
+		fmt.Printf("  tuples moved:                   %d\n", p.Traffic)
+		fmt.Printf("  CCT, optimal coflow schedule:   %g time units\n", p.OptimalCCT)
+		fmt.Printf("  CCT, uncoordinated (Fig. 2a):   %g time units\n\n", p.WorstCCT)
+	}
+	show(res.SP0, "SP0 — hash-based (key mod 3)")
+	show(res.SP2, "SP2 — traffic-optimal (what Mini/track-join picks)")
+	show(res.SP1, "SP1 — traffic-suboptimal but CCT-optimal")
+	show(res.CCF, "CCF — Algorithm 1's output")
+
+	fmt.Printf("Branch & bound certifies min-max port load T = %d ⇒ no plan beats CCT 3.\n", res.OptimalT)
+	fmt.Println()
+	fmt.Println("Takeaways (the paper's Section II.C):")
+	fmt.Println(" 1. Coflow scheduling alone helps: SP2 drops from 6 to 4 time units.")
+	fmt.Println(" 2. But the application-level plan bounds what the network can do:")
+	fmt.Println("    moving one MORE tuple (SP1) unlocks CCT 3 < 4.")
+	fmt.Println(" 3. Only a scheduler that sees both levels — CCF — finds that plan.")
+}

@@ -1,0 +1,54 @@
+// Quickstart: the minimal CCF walk-through. Generate a small TPC-H-like
+// workload, run the three application-level schedulers of the paper
+// (Hash, Mini, CCF) through the co-optimization pipeline, and compare the
+// network traffic and communication time of the resulting shuffles.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccf/internal/core"
+	"ccf/internal/workload"
+)
+
+func main() {
+	// A 100-node cluster holding ≈10 GB (1% of the paper's dataset) of
+	// CUSTOMER ⋈ ORDERS input, with the paper's default zipf=0.8 chunk
+	// distribution and 20% skew towards custkey 1.
+	w, err := workload.Generate(workload.Config{
+		Nodes:          100,
+		Zipf:           workload.DefaultZipf,
+		Skew:           workload.DefaultSkew,
+		CustomerTuples: workload.DefaultCustomerTuples / 100,
+		OrderTuples:    workload.DefaultOrderTuples / 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d nodes, %d partitions, %.2f GB input\n\n",
+		w.Chunks.N, w.Chunks.P, float64(w.TotalBytes())/1e9)
+
+	// Run all three approaches. Hash is skew-oblivious; Mini and CCF use
+	// partial duplication; all are measured under optimal (MADD) coflow
+	// scheduling over a non-blocking switch with 128 MB/s ports.
+	results, err := core.RunAll(w, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %14s %18s %20s\n", "placer", "traffic (GB)", "bottleneck (GB)", "comm. time (s)")
+	for _, a := range []core.Approach{core.ApproachHash, core.ApproachMini, core.ApproachCCF} {
+		r := results[a]
+		fmt.Printf("%-6s %14.2f %18.2f %20.2f\n",
+			r.Approach, r.TrafficGB(), float64(r.BottleneckBytes)/1e9, r.TimeSec)
+	}
+
+	hash, ccf, mini := results[core.ApproachHash], results[core.ApproachCCF], results[core.ApproachMini]
+	fmt.Printf("\nCCF is %.1fx faster than Hash and %.1fx faster than Mini.\n",
+		hash.TimeSec/ccf.TimeSec, mini.TimeSec/ccf.TimeSec)
+	fmt.Println("Note how Mini moves the fewest bytes yet is the slowest:")
+	fmt.Println("minimal traffic is not minimal communication time — the gap CCF closes.")
+}

@@ -1,0 +1,81 @@
+// skew_handling: partial duplication end to end (paper §III.C). A heavily
+// skewed join — 40% of ORDERS hitting one customer — is executed twice with
+// the CCF placer: once shuffling everything, once with skew detection and
+// partial duplication. The example prints the detected heavy hitters, the
+// traffic and bottleneck savings, and verifies both runs produce the exact
+// reference cardinality.
+//
+//	go run ./examples/skew_handling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccf/internal/join"
+	"ccf/internal/partition"
+	"ccf/internal/placement"
+	"ccf/internal/skew"
+)
+
+func main() {
+	const (
+		nodes    = 12
+		skewFrac = 0.40
+	)
+
+	customer, orders := join.GenerateRelations(join.GenConfig{
+		Customers: 5000, OrdersPerCust: 20, PayloadBytes: 1000,
+		SkewFrac: skewFrac, Seed: 7,
+	})
+	want := join.Reference(customer, orders)
+	fmt.Printf("%d customers × %d orders, %.0f%% of orders on custkey 1\n",
+		len(customer.Tuples), len(orders.Tuples), skewFrac*100)
+	fmt.Printf("reference join cardinality: %d\n\n", want)
+
+	// First: what does a sampling detector see? (The join engine uses exact
+	// counts internally; this shows the cheap pre-pass a real system runs.)
+	sampler := skew.NewSampler(100) // 1-in-100 systematic sample
+	for _, t := range orders.Tuples {
+		sampler.Observe(t.Key)
+	}
+	for _, h := range sampler.Heavy(0.05) {
+		fmt.Printf("sampled heavy hitter: key %d, ≈%.1f%% of ORDERS (estimated %d tuples)\n",
+			h.Key, h.Frac*100, h.Count)
+	}
+	fmt.Println()
+
+	build := func() *join.Cluster {
+		cl := join.NewCluster(nodes, partition.ModPartitioner{NumPartitions: 15 * nodes})
+		cl.LoadByPlacement(true, customer, join.ZipfPlacer(nodes, 0.8, 8))
+		cl.LoadByPlacement(false, orders, join.ZipfPlacer(nodes, 0.8, 9))
+		return cl
+	}
+
+	run := func(label string, threshold float64) *join.Result {
+		res, err := join.Execute(build(), join.Options{Scheduler: placement.CCF{}, SkewThreshold: threshold})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := "cardinality OK"
+		if res.OutputTuples != want {
+			ok = fmt.Sprintf("cardinality WRONG: %d != %d", res.OutputTuples, want)
+		}
+		fmt.Printf("%-28s traffic %7.1f MB   bottleneck %7.1f MB   time %6.3f s   %s\n",
+			label, float64(res.TrafficBytes)/1e6, float64(res.BottleneckBytes)/1e6, res.CommTime, ok)
+		return res
+	}
+
+	plain := run("CCF, no skew handling:", 0)
+	handled := run("CCF + partial duplication:", 0.05)
+
+	fmt.Printf("\nskewed keys kept local: %v\n", handled.SkewedKeys)
+	fmt.Printf("traffic saved:    %.1f MB (%.0f%%)\n",
+		float64(plain.TrafficBytes-handled.TrafficBytes)/1e6,
+		100*float64(plain.TrafficBytes-handled.TrafficBytes)/float64(plain.TrafficBytes))
+	fmt.Printf("bottleneck saved: %.1f MB (%.0f%%)\n",
+		float64(plain.BottleneckBytes-handled.BottleneckBytes)/1e6,
+		100*float64(plain.BottleneckBytes-handled.BottleneckBytes)/float64(plain.BottleneckBytes))
+	fmt.Println("\nThe hot key's orders never cross the network; only the single matching")
+	fmt.Println("customer tuple is broadcast — the v⁰ flows CCF folds into its model.")
+}

@@ -1,0 +1,74 @@
+// tpch_join: the paper's query end to end at tuple granularity —
+//
+//	select * from CUSTOMER C join ORDERS O on C.CUSTKEY = O.CUSTKEY
+//
+// This example materialises actual relations (a scaled-down TPC-H), loads
+// them onto a simulated shared-nothing cluster with zipf-biased locality,
+// and executes the full distributed pipeline for each placement scheduler:
+// skew detection → partial duplication → placement → simulated shuffle →
+// parallel local hash joins. The join cardinality is verified against a
+// single-node reference join, demonstrating that all three schedulers are
+// plan-equivalent and differ only in network behaviour.
+//
+//	go run ./examples/tpch_join
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccf/internal/join"
+	"ccf/internal/partition"
+	"ccf/internal/placement"
+)
+
+func main() {
+	const (
+		nodes     = 20
+		customers = 20_000 // scaled-down TPC-H: |ORDERS| = 10 × |CUSTOMER|
+		perCust   = 10
+		skewFrac  = 0.20 // 20% of ORDERS re-keyed to custkey 1, as in §IV.A.2
+	)
+
+	customer, orders := join.GenerateRelations(join.GenConfig{
+		Customers: customers, OrdersPerCust: perCust,
+		PayloadBytes: 1000, SkewFrac: skewFrac, Seed: 1,
+	})
+	want := join.Reference(customer, orders)
+	fmt.Printf("CUSTOMER: %d tuples, ORDERS: %d tuples, reference |C ⋈ O| = %d\n\n",
+		len(customer.Tuples), len(orders.Tuples), want)
+
+	build := func() *join.Cluster {
+		cl := join.NewCluster(nodes, partition.ModPartitioner{NumPartitions: 15 * nodes})
+		// Zipf-biased loading reproduces the paper's chunk distribution:
+		// node 0 accumulates the largest fragment of every partition.
+		cl.LoadByPlacement(true, customer, join.ZipfPlacer(nodes, 0.8, 2))
+		cl.LoadByPlacement(false, orders, join.ZipfPlacer(nodes, 0.8, 3))
+		return cl
+	}
+
+	fmt.Printf("%-6s %12s %16s %16s %10s\n", "placer", "output", "traffic (MB)", "bottleneck (MB)", "time (s)")
+	for _, s := range []placement.Scheduler{placement.Hash{}, placement.Mini{}, placement.CCF{}} {
+		opts := join.Options{Scheduler: s}
+		if s.Name() != "Hash" {
+			opts.SkewThreshold = 0.05 // Mini and CCF integrate partial duplication
+		}
+		res, err := join.Execute(build(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "OK"
+		if res.OutputTuples != want {
+			status = fmt.Sprintf("WRONG (want %d)", want)
+		}
+		fmt.Printf("%-6s %12d %16.1f %16.1f %10.3f   cardinality %s\n",
+			s.Name(), res.OutputTuples,
+			float64(res.TrafficBytes)/1e6, float64(res.BottleneckBytes)/1e6,
+			res.CommTime, status)
+		if len(res.SkewedKeys) > 0 {
+			fmt.Printf("       partial duplication kept keys %v local\n", res.SkewedKeys)
+		}
+	}
+	fmt.Println("\nAll schedulers produce the same join output; CCF minimises the")
+	fmt.Println("bottleneck port load, which is what bounds the shuffle's completion time.")
+}

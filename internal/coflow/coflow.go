@@ -1,0 +1,516 @@
+// Package coflow implements the coflow abstraction of Chowdhury & Stoica
+// (HotNets'12) and the schedulers the paper builds on: a coflow is a group
+// of parallel flows sharing a performance goal, and the metric of interest
+// is the coflow completion time (CCT) — the finish time of the slowest flow
+// — rather than any individual flow's completion.
+//
+// Flows are modelled at the fluid level over the non-blocking switch of
+// Varys: each of the n machines has one ingress and one egress port of equal
+// capacity, and contention happens only at ports. Schedulers assign rates;
+// the event engine in internal/netsim advances time between completions.
+package coflow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Flow is one point-to-point transfer within a coflow, the 3-tuple
+// [src, dst, volume] of the paper plus simulation state.
+type Flow struct {
+	ID     int
+	Coflow *Coflow
+	Src    int     // egress port index
+	Dst    int     // ingress port index
+	Size   float64 // bytes
+
+	Remaining float64 // bytes left to transfer
+	Rate      float64 // current rate, bytes/sec; set by schedulers
+	Done      bool
+	EndTime   float64 // simulation time the flow finished (valid once Done)
+}
+
+// Coflow is a set of parallel flows released together (the paper assumes
+// all flows of an operator's shuffle start at the same time; the engine
+// also supports staggered arrivals for the online schedulers).
+type Coflow struct {
+	ID      int
+	Name    string
+	Arrival float64 // seconds
+	// Deadline, when positive, is the completion target in seconds
+	// relative to Arrival; the Varys deadline-mode scheduler admits or
+	// rejects based on it. Zero means best-effort.
+	Deadline float64
+	Flows    []*Flow
+
+	// SentBytes accumulates bytes transferred so far; Aalo's D-CLAS uses it
+	// to infer priority without prior knowledge.
+	SentBytes float64
+	// Completion is the CCT end time (valid once Completed).
+	Completion float64
+	Completed  bool
+}
+
+// New builds a coflow from flow volumes. Zero-size flows are dropped.
+func New(id int, name string, arrival float64, flows []Flow) *Coflow {
+	c := &Coflow{ID: id, Name: name, Arrival: arrival}
+	for i := range flows {
+		f := flows[i]
+		if f.Size <= 0 {
+			continue
+		}
+		nf := &Flow{ID: f.ID, Coflow: c, Src: f.Src, Dst: f.Dst, Size: f.Size, Remaining: f.Size}
+		c.Flows = append(c.Flows, nf)
+	}
+	return c
+}
+
+// FromVolumes builds a coflow from an n×n volume matrix (bytes from i to j,
+// row-major), skipping the diagonal and zero entries.
+func FromVolumes(id int, name string, arrival float64, n int, vol []int64) (*Coflow, error) {
+	if len(vol) != n*n {
+		return nil, fmt.Errorf("coflow: volume matrix has %d entries, want %d", len(vol), n*n)
+	}
+	c := &Coflow{ID: id, Name: name, Arrival: arrival}
+	fid := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := vol[i*n+j]
+			if i == j || v <= 0 {
+				continue
+			}
+			c.Flows = append(c.Flows, &Flow{
+				ID: fid, Coflow: c, Src: i, Dst: j,
+				Size: float64(v), Remaining: float64(v),
+			})
+			fid++
+		}
+	}
+	return c, nil
+}
+
+// TotalBytes returns the sum of flow sizes.
+func (c *Coflow) TotalBytes() float64 {
+	var s float64
+	for _, f := range c.Flows {
+		s += f.Size
+	}
+	return s
+}
+
+// RemainingBytes returns the bytes the coflow still has to move.
+func (c *Coflow) RemainingBytes() float64 {
+	var s float64
+	for _, f := range c.Flows {
+		if !f.Done {
+			s += f.Remaining
+		}
+	}
+	return s
+}
+
+// Width returns the number of flows (Aalo/NCF use it).
+func (c *Coflow) Width() int { return len(c.Flows) }
+
+// Bottleneck returns Γ, the maximum over ports of the coflow's remaining
+// bytes traversing that port. Under exclusive use of the fabric with port
+// capacity R, the minimum CCT is Γ/R — the quantity SEBF orders by and the
+// bandwidth model of the paper's model (1.2).
+func (c *Coflow) Bottleneck(n int) float64 {
+	eg := make([]float64, n)
+	in := make([]float64, n)
+	var g float64
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		eg[f.Src] += f.Remaining
+		in[f.Dst] += f.Remaining
+		if eg[f.Src] > g {
+			g = eg[f.Src]
+		}
+		if in[f.Dst] > g {
+			g = in[f.Dst]
+		}
+	}
+	return g
+}
+
+// CCT returns the coflow completion time (relative to arrival). It panics
+// if the coflow has not completed; call after the simulation finished.
+func (c *Coflow) CCT() float64 {
+	if !c.Completed {
+		panic(fmt.Sprintf("coflow: CCT of incomplete coflow %d (%s)", c.ID, c.Name))
+	}
+	return c.Completion - c.Arrival
+}
+
+// Scheduler assigns rates to the active flows each scheduling epoch.
+//
+// egCap/inCap hold the per-port capacities (bytes/sec) the scheduler may
+// hand out this epoch; implementations must ensure the sum of rates over
+// each egress/ingress port does not exceed the respective capacity. Every
+// scheduler here is work-conserving up to its policy: it should leave a
+// port idle only when no active flow can use it.
+type Scheduler interface {
+	Name() string
+	// Allocate sets Rate on every non-done flow of the active coflows
+	// (flows it declines to serve must get rate 0, not stale values).
+	Allocate(now float64, active []*Coflow, egCap, inCap []float64)
+}
+
+// ---------------------------------------------------------------------------
+// Allocation helpers shared by the schedulers.
+// ---------------------------------------------------------------------------
+
+// resetRates zeroes all rates so schedulers start from a clean slate.
+func resetRates(active []*Coflow) {
+	for _, c := range active {
+		for _, f := range c.Flows {
+			f.Rate = 0
+		}
+	}
+}
+
+// maddAllocate implements Varys' Minimum Allocation for Desired Duration:
+// the coflow's flows all finish together at τ = max over its ports of
+// remaining/capacity, so flow f gets rate remaining_f/τ. Rates are deducted
+// from the residual capacities. Returns the τ achieved (+Inf if a needed
+// port has no capacity, in which case no rates are assigned).
+func maddAllocate(c *Coflow, egCap, inCap []float64) float64 {
+	egNeed := map[int]float64{}
+	inNeed := map[int]float64{}
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		egNeed[f.Src] += f.Remaining
+		inNeed[f.Dst] += f.Remaining
+	}
+	tau := 0.0
+	for p, need := range egNeed {
+		if egCap[p] <= 0 {
+			return math.Inf(1)
+		}
+		if t := need / egCap[p]; t > tau {
+			tau = t
+		}
+	}
+	for p, need := range inNeed {
+		if inCap[p] <= 0 {
+			return math.Inf(1)
+		}
+		if t := need / inCap[p]; t > tau {
+			tau = t
+		}
+	}
+	if tau == 0 {
+		return 0
+	}
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		r := f.Remaining / tau
+		f.Rate += r
+		egCap[f.Src] -= r
+		inCap[f.Dst] -= r
+	}
+	return tau
+}
+
+// waterFill distributes the residual capacity max-min fairly across the
+// given flows (progressive filling). Rates are added on top of any rates
+// already assigned and deducted from the capacities.
+func waterFill(flows []*Flow, egCap, inCap []float64) {
+	st := make([]fillState, len(flows))
+	unfrozen := 0
+	for _, f := range flows {
+		if !f.Done {
+			unfrozen++
+		}
+	}
+	for i, f := range flows {
+		if f.Done {
+			st[i].frozen = true
+		}
+	}
+	for unfrozen > 0 {
+		// Count unfrozen flows per port.
+		egCnt := map[int]int{}
+		inCnt := map[int]int{}
+		for i, f := range flows {
+			if st[i].frozen {
+				continue
+			}
+			egCnt[f.Src]++
+			inCnt[f.Dst]++
+		}
+		// The common increment is limited by the tightest port.
+		alpha := math.Inf(1)
+		for p, cnt := range egCnt {
+			if a := egCap[p] / float64(cnt); a < alpha {
+				alpha = a
+			}
+		}
+		for p, cnt := range inCnt {
+			if a := inCap[p] / float64(cnt); a < alpha {
+				alpha = a
+			}
+		}
+		if math.IsInf(alpha, 1) || alpha <= 0 {
+			// No capacity left anywhere: freeze everyone.
+			for i := range st {
+				st[i].frozen = true
+			}
+			break
+		}
+		// Grant alpha to every unfrozen flow.
+		for i, f := range flows {
+			if st[i].frozen {
+				continue
+			}
+			f.Rate += alpha
+			egCap[f.Src] -= alpha
+			inCap[f.Dst] -= alpha
+		}
+		// Freeze flows on saturated ports.
+		const eps = 1e-12
+		newUnfrozen := 0
+		for i, f := range flows {
+			if st[i].frozen {
+				continue
+			}
+			if egCap[f.Src] <= eps || inCap[f.Dst] <= eps {
+				st[i].frozen = true
+			} else {
+				newUnfrozen++
+			}
+		}
+		if newUnfrozen == unfrozen {
+			// Defensive: guarantee progress even with degenerate float
+			// behaviour by freezing the flow on the fullest port.
+			freezeTightest(flows, st, egCap, inCap)
+			newUnfrozen = unfrozen - 1
+		}
+		unfrozen = newUnfrozen
+	}
+}
+
+// fillState tracks per-flow water-filling progress.
+type fillState struct{ frozen bool }
+
+func freezeTightest(flows []*Flow, st []fillState, egCap, inCap []float64) {
+	best, bestCap := -1, math.Inf(1)
+	for i, f := range flows {
+		if st[i].frozen {
+			continue
+		}
+		c := math.Min(egCap[f.Src], inCap[f.Dst])
+		if c < bestCap {
+			best, bestCap = i, c
+		}
+	}
+	if best >= 0 {
+		st[best].frozen = true
+	}
+}
+
+// activeFlows flattens the non-done flows of the active coflows.
+func activeFlows(active []*Coflow) []*Flow {
+	var out []*Flow
+	for _, c := range active {
+		for _, f := range c.Flows {
+			if !f.Done {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Schedulers.
+// ---------------------------------------------------------------------------
+
+// orderedMADD is the shared engine of the priority-ordered schedulers: it
+// serves coflows in the order produced by less, giving each MADD rates from
+// the residual capacity, then backfills leftovers max-min fairly across all
+// remaining flows (work conservation, as in Varys).
+type orderedMADD struct {
+	name     string
+	less     func(a, b *Coflow, n int) bool
+	backfill bool
+}
+
+func (o orderedMADD) Name() string { return o.name }
+
+func (o orderedMADD) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
+	resetRates(active)
+	n := len(egCap)
+	order := append([]*Coflow(nil), active...)
+	sort.SliceStable(order, func(a, b int) bool { return o.less(order[a], order[b], n) })
+	for _, c := range order {
+		maddAllocate(c, egCap, inCap)
+	}
+	if o.backfill {
+		waterFill(activeFlows(active), egCap, inCap)
+	}
+}
+
+// NewVarys returns the Varys scheduler: Smallest Effective Bottleneck First
+// ordering with MADD allocation and work-conserving backfill (SIGCOMM'14).
+func NewVarys() Scheduler {
+	return orderedMADD{
+		name: "varys-sebf",
+		less: func(a, b *Coflow, n int) bool {
+			ga, gb := a.Bottleneck(n), b.Bottleneck(n)
+			if ga != gb {
+				return ga < gb
+			}
+			return a.ID < b.ID
+		},
+		backfill: true,
+	}
+}
+
+// NewFIFO returns first-come-first-served coflow scheduling with MADD rates,
+// ties by ID. FIFO-LM of Qiu et al. without the multiplexing.
+func NewFIFO() Scheduler {
+	return orderedMADD{
+		name: "fifo",
+		less: func(a, b *Coflow, _ int) bool {
+			if a.Arrival != b.Arrival {
+				return a.Arrival < b.Arrival
+			}
+			return a.ID < b.ID
+		},
+		backfill: true,
+	}
+}
+
+// NewSCF returns Smallest (remaining) Coflow First — the size-based
+// counterpart of SEBF.
+func NewSCF() Scheduler {
+	return orderedMADD{
+		name: "scf",
+		less: func(a, b *Coflow, _ int) bool {
+			ra, rb := a.RemainingBytes(), b.RemainingBytes()
+			if ra != rb {
+				return ra < rb
+			}
+			return a.ID < b.ID
+		},
+		backfill: true,
+	}
+}
+
+// NewNCF returns Narrowest Coflow First (fewest flows first).
+func NewNCF() Scheduler {
+	return orderedMADD{
+		name: "ncf",
+		less: func(a, b *Coflow, _ int) bool {
+			wa, wb := a.Width(), b.Width()
+			if wa != wb {
+				return wa < wb
+			}
+			return a.ID < b.ID
+		},
+		backfill: true,
+	}
+}
+
+// Aalo approximates the D-CLAS discretized priority queues of Aalo
+// (SIGCOMM'15): coflows are binned by bytes sent so far into queues with
+// geometrically growing thresholds; lower queues get strict priority,
+// FIFO within a queue, MADD rates, leftover capacity backfilled.
+type Aalo struct {
+	// FirstThreshold is queue 0's upper bound in bytes (Aalo default 10 MB).
+	FirstThreshold float64
+	// Multiplier grows thresholds geometrically (Aalo default 10).
+	Multiplier float64
+}
+
+// NewAalo returns an Aalo scheduler with the paper defaults.
+func NewAalo() *Aalo { return &Aalo{FirstThreshold: 10e6, Multiplier: 10} }
+
+// Name implements Scheduler.
+func (a *Aalo) Name() string { return "aalo-dclas" }
+
+// queueOf returns the priority queue index for a coflow.
+func (a *Aalo) queueOf(c *Coflow) int {
+	q := 0
+	th := a.FirstThreshold
+	for c.SentBytes >= th && q < 32 {
+		th *= a.Multiplier
+		q++
+	}
+	return q
+}
+
+// Allocate implements Scheduler.
+func (a *Aalo) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
+	resetRates(active)
+	order := append([]*Coflow(nil), active...)
+	sort.SliceStable(order, func(x, y int) bool {
+		qx, qy := a.queueOf(order[x]), a.queueOf(order[y])
+		if qx != qy {
+			return qx < qy
+		}
+		if order[x].Arrival != order[y].Arrival {
+			return order[x].Arrival < order[y].Arrival
+		}
+		return order[x].ID < order[y].ID
+	})
+	for _, c := range order {
+		maddAllocate(c, egCap, inCap)
+	}
+	waterFill(activeFlows(active), egCap, inCap)
+}
+
+// PerFlowFair ignores coflow boundaries entirely and shares every port
+// max-min fairly across individual flows — the TCP-like baseline coflow
+// papers compare against.
+type PerFlowFair struct{}
+
+// Name implements Scheduler.
+func (PerFlowFair) Name() string { return "per-flow-fair" }
+
+// Allocate implements Scheduler.
+func (PerFlowFair) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
+	resetRates(active)
+	waterFill(activeFlows(active), egCap, inCap)
+}
+
+// SequentialByDest reproduces the uncoordinated "worst schedule" of the
+// paper's Figure 2(a): senders flush data one destination at a time in
+// destination index order, so a single ingress link is contended while the
+// others idle. Only flows towards the lowest-indexed destination with
+// pending traffic receive bandwidth each epoch.
+type SequentialByDest struct{}
+
+// Name implements Scheduler.
+func (SequentialByDest) Name() string { return "sequential-by-dest" }
+
+// Allocate implements Scheduler.
+func (SequentialByDest) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
+	resetRates(active)
+	flows := activeFlows(active)
+	cur := -1
+	for _, f := range flows {
+		if cur == -1 || f.Dst < cur {
+			cur = f.Dst
+		}
+	}
+	if cur == -1 {
+		return
+	}
+	var subset []*Flow
+	for _, f := range flows {
+		if f.Dst == cur {
+			subset = append(subset, f)
+		}
+	}
+	waterFill(subset, egCap, inCap)
+}

@@ -1,0 +1,161 @@
+package coflow
+
+// Deadline-aware coflow scheduling — the second half of Varys (SIGCOMM'14):
+// besides minimising CCT, Varys guarantees admitted coflows complete within
+// their deadlines. A coflow is admitted iff, at arrival, the rates required
+// to finish exactly at its deadline fit into the capacity left after all
+// earlier reservations; admitted coflows then receive exactly those rates
+// (minimum-allocation keeps slack for future arrivals), while rejected and
+// best-effort (deadline-less) coflows share the leftovers max-min fairly.
+
+import (
+	"math"
+	"sort"
+)
+
+// admission state of a coflow within one simulation.
+type admission int
+
+const (
+	undecided admission = iota
+	admitted
+	rejected
+)
+
+// Deadline is the Varys deadline-mode scheduler. It is stateful (admission
+// decisions persist across epochs) and therefore NOT reusable across
+// simulator runs — create a fresh instance per Run.
+type Deadline struct {
+	state map[int]admission
+}
+
+// NewVarysDeadline returns a fresh deadline-mode scheduler.
+func NewVarysDeadline() *Deadline {
+	return &Deadline{state: make(map[int]admission)}
+}
+
+// Name implements Scheduler.
+func (d *Deadline) Name() string { return "varys-deadline" }
+
+// Admitted reports the admission decision for a coflow ID (false for
+// rejected, undecided, or unknown IDs).
+func (d *Deadline) Admitted(id int) bool { return d.state[id] == admitted }
+
+// Allocate implements Scheduler.
+func (d *Deadline) Allocate(now float64, active []*Coflow, egCap, inCap []float64) {
+	resetRates(active)
+	order := append([]*Coflow(nil), active...)
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].Arrival != order[b].Arrival {
+			return order[a].Arrival < order[b].Arrival
+		}
+		return order[a].ID < order[b].ID
+	})
+
+	for _, c := range order {
+		if c.Deadline <= 0 {
+			continue // best effort: served by the backfill below
+		}
+		switch d.state[c.ID] {
+		case rejected:
+			continue // also backfill-only
+		case undecided:
+			if d.admit(c, now, egCap, inCap) {
+				d.state[c.ID] = admitted
+			} else {
+				d.state[c.ID] = rejected
+				continue
+			}
+		}
+		// Admitted: reserve exactly the finish-at-deadline rates.
+		timeLeft := c.Arrival + c.Deadline - now
+		if timeLeft <= 0 {
+			// Past due (should not happen for truly admitted coflows, but
+			// float drift can leave crumbs): drain at full MADD speed.
+			maddAllocate(c, egCap, inCap)
+			continue
+		}
+		for _, f := range c.Flows {
+			if f.Done {
+				continue
+			}
+			r := f.Remaining / timeLeft
+			// Defensive cap against accumulated float error.
+			r = math.Min(r, math.Min(egCap[f.Src], inCap[f.Dst]))
+			if r < 0 {
+				r = 0
+			}
+			f.Rate += r
+			egCap[f.Src] -= r
+			inCap[f.Dst] -= r
+		}
+	}
+	// Leftover capacity serves rejected and best-effort coflows — and
+	// opportunistically accelerates everyone (finishing early never breaks
+	// a deadline).
+	waterFill(activeFlows(active), egCap, inCap)
+}
+
+// admit checks whether finish-at-deadline rates fit the residual capacity.
+func (d *Deadline) admit(c *Coflow, now float64, egCap, inCap []float64) bool {
+	timeLeft := c.Arrival + c.Deadline - now
+	if timeLeft <= 0 {
+		return false
+	}
+	egNeed := map[int]float64{}
+	inNeed := map[int]float64{}
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		egNeed[f.Src] += f.Remaining / timeLeft
+		inNeed[f.Dst] += f.Remaining / timeLeft
+	}
+	const tol = 1 + 1e-9
+	for p, need := range egNeed {
+		if need > egCap[p]*tol {
+			return false
+		}
+	}
+	for p, need := range inNeed {
+		if need > inCap[p]*tol {
+			return false
+		}
+	}
+	return true
+}
+
+// DeadlineStats summarises deadline outcomes after a simulation: which
+// coflows with deadlines completed in time.
+type DeadlineStats struct {
+	WithDeadline int
+	Met          int
+	Admitted     int
+}
+
+// MetFraction returns Met/WithDeadline (1 when no coflow had a deadline).
+func (s DeadlineStats) MetFraction() float64 {
+	if s.WithDeadline == 0 {
+		return 1
+	}
+	return float64(s.Met) / float64(s.WithDeadline)
+}
+
+// CollectDeadlineStats inspects completed coflows against their deadlines.
+// Pass the scheduler to also count admissions; nil is allowed.
+func CollectDeadlineStats(coflows []*Coflow, d *Deadline) DeadlineStats {
+	var s DeadlineStats
+	for _, c := range coflows {
+		if c.Deadline <= 0 {
+			continue
+		}
+		s.WithDeadline++
+		if c.Completed && c.CCT() <= c.Deadline*(1+1e-9) {
+			s.Met++
+		}
+		if d != nil && d.Admitted(c.ID) {
+			s.Admitted++
+		}
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+package coflow_test
+
+import (
+	"fmt"
+
+	"ccf/internal/coflow"
+)
+
+// A coflow's bottleneck Γ is the largest per-port byte load; under
+// exclusive MADD allocation its minimum CCT is Γ divided by the port
+// bandwidth — the quantity SEBF orders by.
+func ExampleCoflow_Bottleneck() {
+	c := coflow.New(0, "shuffle", 0, []coflow.Flow{
+		{ID: 0, Src: 0, Dst: 1, Size: 8},
+		{ID: 1, Src: 0, Dst: 2, Size: 4},
+		{ID: 2, Src: 2, Dst: 1, Size: 2},
+	})
+	fmt.Printf("width %d, total %g bytes, bottleneck %g bytes\n",
+		c.Width(), c.TotalBytes(), c.Bottleneck(3))
+	// Output:
+	// width 3, total 14 bytes, bottleneck 12 bytes
+}
+
+// Deadline mode admits a coflow only if its finish-at-deadline rates fit
+// the capacity left by earlier reservations.
+func ExampleNewVarysDeadline() {
+	a := coflow.New(0, "a", 0, []coflow.Flow{{ID: 0, Src: 0, Dst: 1, Size: 10}})
+	a.Deadline = 10 // needs the whole unit port
+	b := coflow.New(1, "b", 0, []coflow.Flow{{ID: 0, Src: 0, Dst: 1, Size: 5}})
+	b.Deadline = 100
+
+	d := coflow.NewVarysDeadline()
+	eg := []float64{1, 1}
+	in := []float64{1, 1}
+	d.Allocate(0, []*coflow.Coflow{a, b}, eg, in)
+	fmt.Printf("a admitted: %v, b admitted: %v\n", d.Admitted(0), d.Admitted(1))
+	// Output:
+	// a admitted: true, b admitted: false
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestMotivatingExample locks in every number of the paper's Figures 1-2:
+// traffic 8/7/6 for SP0/SP1/SP2, optimal CCTs 4 (SP2) and 3 (SP1), worst
+// CCT 6 (SP2), and CCF recovering the co-optimal plan.
+func TestMotivatingExample(t *testing.T) {
+	res, err := MotivatingExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.SP0.Traffic; got != 8 {
+		t.Errorf("SP0 (hash) traffic = %d, paper says 8", got)
+	}
+	if got := res.SP1.Traffic; got != 7 {
+		t.Errorf("SP1 traffic = %d, paper says 7", got)
+	}
+	if got := res.SP2.Traffic; got != 6 {
+		t.Errorf("SP2 traffic = %d, paper says 6", got)
+	}
+	if got := res.SP2.OptimalCCT; !approx(got, 4) {
+		t.Errorf("SP2 optimal-coflow CCT = %g, Figure 2(b) says 4", got)
+	}
+	if got := res.SP2.WorstCCT; !approx(got, 6) {
+		t.Errorf("SP2 worst-schedule CCT = %g, Figure 2(a) says 6", got)
+	}
+	if got := res.SP1.OptimalCCT; !approx(got, 3) {
+		t.Errorf("SP1 optimal-coflow CCT = %g, Figure 2(c) says 3", got)
+	}
+	if got := res.CCF.OptimalCCT; !approx(got, 3) {
+		t.Errorf("CCF heuristic CCT = %g, want the co-optimal 3", got)
+	}
+	if res.OptimalT != 3 {
+		t.Errorf("exact solver bottleneck T = %d, want 3", res.OptimalT)
+	}
+	// The co-optimization gap the paper motivates with: the traffic-optimal
+	// plan is strictly slower than the traffic-suboptimal one.
+	if !(res.SP2.Traffic < res.SP1.Traffic && res.SP2.OptimalCCT > res.SP1.OptimalCCT) {
+		t.Errorf("co-optimization gap missing: SP2 (traffic %d, CCT %g) vs SP1 (traffic %d, CCT %g)",
+			res.SP2.Traffic, res.SP2.OptimalCCT, res.SP1.Traffic, res.SP1.OptimalCCT)
+	}
+}
+
+func approx(got, want float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-6
+}

@@ -1,0 +1,257 @@
+// Package fbtrace synthesises coflow workloads with the statistical shape of
+// the Facebook MapReduce trace that Varys and Aalo (and therefore CoflowSim)
+// evaluate on: coflows fall into four categories by length (size of the
+// longest flow) and width (number of flows),
+//
+//	SN — short & narrow     LN — long & narrow
+//	SW — short & wide       LW — long & wide
+//
+// with most coflows short/narrow but most *bytes* carried by the long/wide
+// tail, Poisson arrivals, and heavy-tailed flow sizes. The generated
+// workloads exercise the online coflow schedulers; trace.Write can persist
+// them in CoflowSim's format.
+package fbtrace
+
+import (
+	"fmt"
+	"math"
+
+	"ccf/internal/coflow"
+	"ccf/internal/trace"
+)
+
+// Defaults follow the Varys §7 characterisation: ≈ 60% of coflows are
+// narrow and short, but > 90% of bytes come from the wide/long minority.
+const (
+	// ShortFlowMB bounds a "short" coflow's largest flow.
+	ShortFlowMB = 5.0
+	// NarrowWidth bounds a "narrow" coflow's flow count.
+	NarrowWidth = 50
+)
+
+// Mix sets the category probabilities; they must sum to ≈ 1.
+type Mix struct {
+	SN, LN, SW, LW float64
+}
+
+// DefaultMix mirrors the Facebook trace's coflow-count distribution
+// (Varys Table 1: 52% SN, 16% LN, 15% SW, 17% LW).
+func DefaultMix() Mix { return Mix{SN: 0.52, LN: 0.16, SW: 0.15, LW: 0.17} }
+
+// Config parameterises a synthetic trace.
+type Config struct {
+	Machines int // fabric width; mapper/reducer locations in [0, Machines)
+	Coflows  int
+	// MeanInterarrivalSec spaces Poisson arrivals; 0 = 1 second.
+	MeanInterarrivalSec float64
+	Mix                 Mix // zero value = DefaultMix
+	Seed                uint64
+}
+
+// gen is the same xorshift64* generator the other packages use.
+type gen struct{ state uint64 }
+
+// scramble whitens a user seed (splitmix64 step) so that adjacent seeds
+// yield unrelated streams and zero is valid.
+func scramble(seed uint64) uint64 {
+	x := seed + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	return x
+}
+
+func (g *gen) next() uint64 {
+	x := g.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	g.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (g *gen) float() float64 { return float64(g.next()>>11) / float64(1<<53) }
+
+func (g *gen) intn(n int) int { return int(g.next() % uint64(n)) }
+
+// exp draws an exponential variate with the given mean.
+func (g *gen) exp(mean float64) float64 {
+	u := g.float()
+	for u == 0 {
+		u = g.float()
+	}
+	return -mean * math.Log(u)
+}
+
+// pareto draws a bounded Pareto variate in [lo, hi] with shape alpha —
+// the heavy tail of flow sizes.
+func (g *gen) pareto(lo, hi, alpha float64) float64 {
+	u := g.float()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Category of a generated coflow.
+type Category int
+
+// Categories.
+const (
+	SN Category = iota
+	LN
+	SW
+	LW
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case SN:
+		return "SN"
+	case LN:
+		return "LN"
+	case SW:
+		return "SW"
+	case LW:
+		return "LW"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Classify buckets a coflow by the Varys length/width thresholds.
+func Classify(c *coflow.Coflow) Category {
+	var longest float64
+	for _, f := range c.Flows {
+		if f.Size > longest {
+			longest = f.Size
+		}
+	}
+	short := longest <= ShortFlowMB*1e6
+	narrow := len(c.Flows) <= NarrowWidth
+	switch {
+	case short && narrow:
+		return SN
+	case narrow:
+		return LN
+	case short:
+		return SW
+	default:
+		return LW
+	}
+}
+
+// Generate builds the synthetic workload.
+func Generate(cfg Config) ([]*coflow.Coflow, error) {
+	if cfg.Machines < 2 {
+		return nil, fmt.Errorf("fbtrace: need at least 2 machines, got %d", cfg.Machines)
+	}
+	if cfg.Coflows <= 0 {
+		return nil, fmt.Errorf("fbtrace: need a positive coflow count, got %d", cfg.Coflows)
+	}
+	if cfg.MeanInterarrivalSec <= 0 {
+		cfg.MeanInterarrivalSec = 1
+	}
+	mix := cfg.Mix
+	if mix.SN+mix.LN+mix.SW+mix.LW == 0 {
+		mix = DefaultMix()
+	}
+	if s := mix.SN + mix.LN + mix.SW + mix.LW; math.Abs(s-1) > 0.01 {
+		return nil, fmt.Errorf("fbtrace: mix sums to %g, want 1", s)
+	}
+	g := &gen{state: scramble(cfg.Seed)}
+
+	var out []*coflow.Coflow
+	now := 0.0
+	for id := 0; id < cfg.Coflows; id++ {
+		now += g.exp(cfg.MeanInterarrivalSec)
+		u := g.float()
+		var cat Category
+		switch {
+		case u < mix.SN:
+			cat = SN
+		case u < mix.SN+mix.LN:
+			cat = LN
+		case u < mix.SN+mix.LN+mix.SW:
+			cat = SW
+		default:
+			cat = LW
+		}
+		c := genCoflow(g, id, now, cat, cfg.Machines)
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// genCoflow draws a single coflow of the given category.
+func genCoflow(g *gen, id int, arrival float64, cat Category, machines int) *coflow.Coflow {
+	maxWidth := machines * (machines - 1)
+	width := 0
+	var loMB, hiMB float64
+	switch cat {
+	case SN, LN:
+		width = 1 + g.intn(min(NarrowWidth, maxWidth))
+	case SW, LW:
+		lo := NarrowWidth + 1
+		if lo > maxWidth {
+			lo = maxWidth
+		}
+		width = lo + g.intn(maxWidth-lo+1)
+	}
+	switch cat {
+	case SN, SW:
+		loMB, hiMB = 0.1, ShortFlowMB
+	case LN, LW:
+		loMB, hiMB = ShortFlowMB, 1000
+	}
+	var flows []coflow.Flow
+	for f := 0; f < width; f++ {
+		src := g.intn(machines)
+		dst := (src + 1 + g.intn(machines-1)) % machines
+		sz := g.pareto(loMB, hiMB, 1.1) * 1e6
+		flows = append(flows, coflow.Flow{ID: f, Src: src, Dst: dst, Size: sz})
+	}
+	return coflow.New(id, fmt.Sprintf("%s-%d", cat, id), arrival, flows)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ToTrace converts generated coflows into a CoflowSim benchmark trace: each
+// flow becomes a single-mapper reducer entry of its own job... coflows map
+// 1:1 to jobs with per-source mapper lists and per-destination megabyte
+// sums (the format cannot express per-flow pairs exactly when a job has
+// several mappers, so each coflow is split into one job per source).
+func ToTrace(machines int, coflows []*coflow.Coflow) *trace.Trace {
+	tr := &trace.Trace{NumRacks: machines}
+	id := 0
+	for _, c := range coflows {
+		perSrc := make(map[int]map[int]float64)
+		for _, f := range c.Flows {
+			if perSrc[f.Src] == nil {
+				perSrc[f.Src] = make(map[int]float64)
+			}
+			perSrc[f.Src][f.Dst] += f.Size / 1e6
+		}
+		for src := 0; src < machines; src++ {
+			red, ok := perSrc[src]
+			if !ok {
+				continue
+			}
+			tr.Jobs = append(tr.Jobs, trace.Job{
+				ID:            id,
+				ArrivalMillis: int64(c.Arrival * 1000),
+				Mappers:       []int{src},
+				ReducerMB:     red,
+			})
+			id++
+		}
+	}
+	return tr
+}

@@ -1,0 +1,260 @@
+package fbtrace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ccf/internal/coflow"
+	"ccf/internal/netsim"
+	"ccf/internal/trace"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Machines: 1, Coflows: 5}); err == nil {
+		t.Error("accepted 1 machine")
+	}
+	if _, err := Generate(Config{Machines: 4, Coflows: 0}); err == nil {
+		t.Error("accepted 0 coflows")
+	}
+	if _, err := Generate(Config{Machines: 4, Coflows: 5, Mix: Mix{SN: 0.9, LN: 0.9}}); err == nil {
+		t.Error("accepted a mix not summing to 1")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfs, err := Generate(Config{Machines: 100, Coflows: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfs) != 500 {
+		t.Fatalf("generated %d coflows, want 500", len(cfs))
+	}
+	counts := map[Category]int{}
+	var bytesByCat = map[Category]float64{}
+	prevArrival := -1.0
+	for _, c := range cfs {
+		if c.Arrival <= prevArrival {
+			t.Fatal("arrivals not strictly increasing")
+		}
+		prevArrival = c.Arrival
+		if len(c.Flows) == 0 {
+			t.Fatal("empty coflow generated")
+		}
+		for _, f := range c.Flows {
+			if f.Size <= 0 {
+				t.Fatalf("non-positive flow size %g", f.Size)
+			}
+			if f.Src == f.Dst {
+				t.Fatal("self-loop generated")
+			}
+			if f.Src < 0 || f.Src >= 100 || f.Dst < 0 || f.Dst >= 100 {
+				t.Fatal("flow endpoint outside fabric")
+			}
+		}
+		cat := Classify(c)
+		counts[cat]++
+		bytesByCat[cat] += c.TotalBytes()
+	}
+	// The count distribution should roughly follow the mix.
+	if frac := float64(counts[SN]) / 500; frac < 0.35 || frac > 0.70 {
+		t.Errorf("SN fraction = %g, want ≈ 0.52", frac)
+	}
+	// The byte distribution must be dominated by the long/wide tail.
+	total := 0.0
+	for _, b := range bytesByCat {
+		total += b
+	}
+	if tail := (bytesByCat[LW] + bytesByCat[LN] + bytesByCat[SW]) / total; tail < 0.8 {
+		t.Errorf("long/wide coflows carry %g of bytes, want the heavy tail (> 0.8)", tail)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Machines: 20, Coflows: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Machines: 20, Coflows: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || len(a[i].Flows) != len(b[i].Flows) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestClassifyThresholds(t *testing.T) {
+	mk := func(width int, sizeMB float64) *coflow.Coflow {
+		var flows []coflow.Flow
+		for i := 0; i < width; i++ {
+			flows = append(flows, coflow.Flow{ID: i, Src: 0, Dst: 1 + i%3, Size: sizeMB * 1e6})
+		}
+		return coflow.New(0, "c", 0, flows)
+	}
+	cases := []struct {
+		width  int
+		sizeMB float64
+		want   Category
+	}{
+		{10, 1, SN},
+		{10, 100, LN},
+		{60, 1, SW},
+		{60, 100, LW},
+	}
+	for _, tc := range cases {
+		if got := Classify(mk(tc.width, tc.sizeMB)); got != tc.want {
+			t.Errorf("Classify(width=%d, %gMB) = %v, want %v", tc.width, tc.sizeMB, got, tc.want)
+		}
+	}
+	if SN.String() != "SN" || LW.String() != "LW" || Category(9).String() == "" {
+		t.Error("Category.String broken")
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	g := &gen{state: 3}
+	for i := 0; i < 10_000; i++ {
+		v := g.pareto(1, 100, 1.1)
+		if v < 1-1e-9 || v > 100+1e-9 {
+			t.Fatalf("pareto variate %g outside [1,100]", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := &gen{state: 11}
+	sum := 0.0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		sum += g.exp(2.5)
+	}
+	if mean := sum / n; math.Abs(mean-2.5) > 0.1 {
+		t.Errorf("exponential mean = %g, want ≈ 2.5", mean)
+	}
+}
+
+func TestWorkloadIsSimulable(t *testing.T) {
+	cfs, err := Generate(Config{Machines: 12, Coflows: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, c := range cfs {
+		total += c.TotalBytes()
+	}
+	fab, err := netsim.NewFabric(12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := netsim.NewSimulator(fab, coflow.NewAalo()).Run(cfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CCTs) != 40 {
+		t.Fatalf("completed %d coflows, want 40", len(rep.CCTs))
+	}
+	if math.Abs(rep.TotalBytes-total)/total > 1e-6 {
+		t.Errorf("moved %g bytes, generated %g", rep.TotalBytes, total)
+	}
+}
+
+func TestToTraceRoundTrip(t *testing.T) {
+	cfs, err := Generate(Config{Machines: 8, Coflows: 15, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ToTrace(8, cfs)
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := trace.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte totals survive the format conversion.
+	var want float64
+	for _, c := range cfs {
+		want += c.TotalBytes()
+	}
+	var got float64
+	for _, c := range parsed.Coflows() {
+		got += c.TotalBytes()
+	}
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("trace round trip: %g bytes, want %g", got, want)
+	}
+}
+
+func TestSEBFBehaviourOnFBWorkload(t *testing.T) {
+	// The classic coflow-scheduling trade-offs on the FB-like mix:
+	// (1) SEBF slashes the CCT of short-narrow coflows relative to
+	//     per-flow fairness (its SRPT-like preference), and
+	// (2) SEBF beats FIFO on overall average CCT (no head-of-line
+	//     blocking behind giant coflows).
+	run := func(s coflow.Scheduler) (snAvg, overall float64) {
+		cfs, err := Generate(Config{Machines: 16, Coflows: 60, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab, err := netsim.NewFabric(16, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := netsim.NewSimulator(fab, s).Run(cfs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snSum float64
+		snCount := 0
+		for _, c := range cfs {
+			if Classify(c) == SN {
+				snSum += rep.CCTs[c.ID]
+				snCount++
+			}
+		}
+		if snCount == 0 {
+			t.Fatal("no short-narrow coflows in the sample")
+		}
+		return snSum / float64(snCount), rep.AvgCCT
+	}
+	sebfSN, sebfAll := run(coflow.NewVarys())
+	fairSN, _ := run(coflow.PerFlowFair{})
+	_, fifoAll := run(coflow.NewFIFO())
+	if sebfSN >= fairSN {
+		t.Errorf("SEBF short-narrow avg CCT %g !< per-flow fair %g", sebfSN, fairSN)
+	}
+	if sebfAll >= fifoAll {
+		t.Errorf("SEBF overall avg CCT %g !< FIFO %g", sebfAll, fifoAll)
+	}
+}
+
+func TestGeneratePropertyAlwaysValid(t *testing.T) {
+	f := func(seed uint64, m, c uint8) bool {
+		machines := 2 + int(m%30)
+		count := 1 + int(c%40)
+		cfs, err := Generate(Config{Machines: machines, Coflows: count, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if len(cfs) != count {
+			return false
+		}
+		for _, cf := range cfs {
+			for _, fl := range cf.Flows {
+				if fl.Src == fl.Dst || fl.Size <= 0 ||
+					fl.Src < 0 || fl.Src >= machines || fl.Dst < 0 || fl.Dst >= machines {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

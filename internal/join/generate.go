@@ -1,0 +1,169 @@
+package join
+
+// Tuple-level workload generators mirroring the paper's TPC-H setup at
+// arbitrary (usually reduced) scale: CUSTOMER with unique custkeys,
+// ORDERS referencing them uniformly, optional skew re-keying a fraction of
+// ORDERS to the hot key, and zipf-biased home-node assignment so the chunk
+// matrix the engine derives matches the chunk-level generator's shape.
+
+import (
+	"math"
+)
+
+// Gen is a small deterministic PRNG (xorshift64*) so relation generation is
+// reproducible without math/rand's global state.
+type Gen struct{ state uint64 }
+
+// NewGen seeds a generator; seed 0 is remapped to a fixed constant.
+func NewGen(seed uint64) *Gen {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Gen{state: seed}
+}
+
+// Uint64 steps the generator.
+func (g *Gen) Uint64() uint64 {
+	x := g.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	g.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform int in [0, n).
+func (g *Gen) Intn(n int) int { return int(g.Uint64() % uint64(n)) }
+
+// Float64 returns a uniform float in [0, 1).
+func (g *Gen) Float64() float64 { return float64(g.Uint64()>>11) / float64(1<<53) }
+
+// GenConfig parameterises relation generation.
+type GenConfig struct {
+	Customers     int64   // |CUSTOMER|; keys 1..Customers
+	OrdersPerCust int64   // |ORDERS| = Customers × OrdersPerCust (TPC-H ≈ 10)
+	PayloadBytes  int64   // per-tuple payload (paper: 1000)
+	SkewFrac      float64 // fraction of ORDERS re-keyed to key 1
+	// KeyZipf, when positive, draws ORDERS custkeys from a Zipf(KeyZipf)
+	// popularity distribution over the customers instead of uniformly —
+	// the natural generalization of the paper's single-hot-key skew, where
+	// several heavy hitters emerge and partial duplication must handle all
+	// of them. Composable with SkewFrac.
+	KeyZipf float64
+	Seed    uint64
+}
+
+// GenerateRelations materialises CUSTOMER and ORDERS per the paper's recipe.
+func GenerateRelations(cfg GenConfig) (customer, orders *Relation) {
+	if cfg.PayloadBytes <= 0 {
+		cfg.PayloadBytes = 1000
+	}
+	g := NewGen(cfg.Seed)
+	customer = &Relation{Name: "CUSTOMER", Tuples: make([]Tuple, cfg.Customers)}
+	for i := int64(0); i < cfg.Customers; i++ {
+		customer.Tuples[i] = Tuple{Key: i + 1, Payload: cfg.PayloadBytes}
+	}
+	var drawKey func() int64
+	if cfg.KeyZipf > 0 {
+		drawKey = zipfKeyDrawer(g, cfg.Customers, cfg.KeyZipf)
+	} else {
+		drawKey = func() int64 { return int64(g.Intn(int(cfg.Customers))) + 1 }
+	}
+	nOrders := cfg.Customers * cfg.OrdersPerCust
+	orders = &Relation{Name: "ORDERS", Tuples: make([]Tuple, nOrders)}
+	for i := int64(0); i < nOrders; i++ {
+		key := drawKey()
+		if cfg.SkewFrac > 0 && g.Float64() < cfg.SkewFrac {
+			key = 1
+		}
+		orders.Tuples[i] = Tuple{Key: key, Payload: cfg.PayloadBytes}
+	}
+	return customer, orders
+}
+
+// zipfKeyDrawer samples keys 1..n with popularity ∝ rank^−theta via
+// inversion on the cumulative weights (O(log n) per draw).
+func zipfKeyDrawer(g *Gen, n int64, theta float64) func() int64 {
+	// For very large key spaces, bucket the tail: exact weights for the
+	// first 4096 ranks, a single uniform tail beyond (the tail carries
+	// little mass for theta ≥ ~0.5 and heavy hitters are what matter).
+	head := n
+	const maxHead = 4096
+	if head > maxHead {
+		head = maxHead
+	}
+	cum := make([]float64, head)
+	var z float64
+	for r := int64(0); r < head; r++ {
+		z += math.Pow(float64(r+1), -theta)
+	}
+	tailMass := 0.0
+	if n > head {
+		// Integral approximation of the tail Σ_{r=head+1..n} r^−θ.
+		if theta == 1 {
+			tailMass = math.Log(float64(n)/float64(head)) / z
+		} else {
+			tailMass = (math.Pow(float64(n), 1-theta) - math.Pow(float64(head), 1-theta)) / ((1 - theta) * z)
+		}
+		if tailMass < 0 {
+			tailMass = 0
+		}
+		z *= 1 + tailMass
+	}
+	acc := 0.0
+	for r := int64(0); r < head; r++ {
+		acc += math.Pow(float64(r+1), -theta) / z
+		cum[r] = acc
+	}
+	return func() int64 {
+		u := g.Float64()
+		if u >= acc && n > head {
+			// Uniform over the tail ranks.
+			return head + 1 + int64(g.Intn(int(n-head)))
+		}
+		lo, hi := int64(0), head-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo + 1
+	}
+}
+
+// ZipfPlacer returns a placement function assigning tuples to home nodes
+// with Zipf(theta) popularity over node ranks (node 0 most popular),
+// reproducing the chunk-level generator's rank-aligned locality at tuple
+// granularity. The returned closure is deterministic per seed.
+func ZipfPlacer(n int, theta float64, seed uint64) func(i int, t Tuple) int {
+	w := make([]float64, n)
+	var z float64
+	for r := 0; r < n; r++ {
+		w[r] = math.Pow(float64(r+1), -theta)
+		z += w[r]
+	}
+	cum := make([]float64, n)
+	acc := 0.0
+	for r := 0; r < n; r++ {
+		acc += w[r] / z
+		cum[r] = acc
+	}
+	g := NewGen(seed)
+	return func(int, Tuple) int {
+		u := g.Float64()
+		// Binary search the cumulative weights.
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+}

@@ -1,0 +1,292 @@
+// Package milp solves the paper's co-optimization model (3) exactly:
+//
+//	minimize  T
+//	s.t.      Σ_j Σ_k h_ik·x_jk ≤ T   ∀ i (egress of node i, j ≠ i)
+//	          Σ_i Σ_k h_ik·x_jk ≤ T   ∀ j (ingress of node j, i ≠ j)
+//	          Σ_j x_jk = 1, x_jk ∈ {0,1}
+//
+// The paper solves this with Gurobi; this package substitutes a
+// branch-and-bound search that certifies optimality on the small instances
+// where the MILP route is practical (the paper itself reports half an hour
+// of Gurobi time at n=500, p=7500, which is why CCF ships the heuristic).
+//
+// The key structural observation that keeps the search cheap: the final
+// egress of node i depends only on which partitions node i itself keeps,
+//
+//	egress_i = rowTotal_i + init_i − Σ_{k : dest k = i} h_ik,
+//
+// so the DFS state is just per-node kept-bytes and ingress-bytes, and both
+// admit monotone lower bounds for pruning.
+package milp
+
+import (
+	"fmt"
+	"sort"
+
+	"ccf/internal/partition"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MaxExplored caps the number of DFS nodes visited; 0 means the
+	// package default (2 million). When the cap is hit the best incumbent
+	// is returned with Optimal = false.
+	MaxExplored int64
+	// UpperBound seeds the incumbent with a known-feasible bottleneck
+	// (e.g. from the CCF heuristic); 0 means unseeded.
+	UpperBound int64
+}
+
+const defaultMaxExplored = 2_000_000
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	Placement *partition.Placement
+	// T is the bottleneck port load of Placement (the MILP objective).
+	T int64
+	// Optimal reports whether the search proved T optimal (search space
+	// exhausted) rather than stopping at the exploration cap.
+	Optimal bool
+	// Explored counts DFS nodes visited.
+	Explored int64
+}
+
+type solver struct {
+	m        *partition.ChunkMatrix
+	n, p     int
+	order    []int   // partitions in branching order (descending total)
+	tot      []int64 // per-partition totals
+	rowTot   []int64 // per-node resident bytes
+	initEg   []int64
+	initIn   []int64
+	minRecv  []int64   // per-partition min over j of (tot_k − h_jk): cheapest possible ingress cost
+	sufChunk [][]int64 // sufChunk[d][idx] = Σ of h_d,order[idx:]: max bytes node d could still keep
+	sufMin   []int64   // Σ of minRecv over order[idx:]
+
+	kept    []int64 // per node, bytes kept so far
+	ingress []int64 // per node, ingress so far
+	dest    []int
+
+	best      []int
+	bestT     int64
+	explored  int64
+	maxExplor int64
+	complete  bool
+}
+
+// Solve runs branch and bound over the chunk matrix with optional initial
+// port loads (broadcast volumes from skew handling). It always returns a
+// feasible placement; Result.Optimal says whether it is certified.
+func Solve(m *partition.ChunkMatrix, initial *partition.Loads, opts Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	s := &solver{
+		m: m, n: m.N, p: m.P,
+		tot:       m.PartitionTotals(),
+		rowTot:    m.NodeTotals(),
+		initEg:    make([]int64, m.N),
+		initIn:    make([]int64, m.N),
+		kept:      make([]int64, m.N),
+		ingress:   make([]int64, m.N),
+		dest:      make([]int, m.P),
+		maxExplor: opts.MaxExplored,
+	}
+	if s.maxExplor == 0 {
+		s.maxExplor = defaultMaxExplored
+	}
+	if initial != nil {
+		if len(initial.Egress) != m.N || len(initial.Ingress) != m.N {
+			return nil, fmt.Errorf("milp: initial loads sized %d/%d, want %d",
+				len(initial.Egress), len(initial.Ingress), m.N)
+		}
+		copy(s.initEg, initial.Egress)
+		copy(s.initIn, initial.Ingress)
+		copy(s.ingress, initial.Ingress)
+	}
+
+	s.order = make([]int, s.p)
+	for k := range s.order {
+		s.order[k] = k
+	}
+	sort.SliceStable(s.order, func(a, b int) bool { return s.tot[s.order[a]] > s.tot[s.order[b]] })
+
+	s.minRecv = make([]int64, s.p)
+	for k := 0; k < s.p; k++ {
+		var maxChunk int64
+		for i := 0; i < s.n; i++ {
+			if v := m.At(i, k); v > maxChunk {
+				maxChunk = v
+			}
+		}
+		s.minRecv[k] = s.tot[k] - maxChunk
+	}
+	s.sufMin = make([]int64, s.p+1)
+	for idx := s.p - 1; idx >= 0; idx-- {
+		s.sufMin[idx] = s.sufMin[idx+1] + s.minRecv[s.order[idx]]
+	}
+	s.sufChunk = make([][]int64, s.n)
+	for d := 0; d < s.n; d++ {
+		suf := make([]int64, s.p+1)
+		for idx := s.p - 1; idx >= 0; idx-- {
+			suf[idx] = suf[idx+1] + m.At(d, s.order[idx])
+		}
+		s.sufChunk[d] = suf
+	}
+
+	s.bestT = opts.UpperBound
+	if s.bestT <= 0 {
+		s.bestT = 1<<62 - 1
+	} else {
+		s.bestT++ // search strictly better than the seed
+	}
+	s.complete = s.dfs(0)
+
+	if s.best == nil {
+		// No assignment beat the seeded upper bound (or cap hit before any
+		// leaf); fall back to a greedy completion so we always return a
+		// feasible placement.
+		pl, t := s.greedy()
+		return &Result{Placement: pl, T: t, Optimal: false, Explored: s.explored}, nil
+	}
+	pl := &partition.Placement{Dest: append([]int(nil), s.best...)}
+	loads, err := partition.ComputeLoads(m, pl, initial)
+	if err != nil {
+		return nil, fmt.Errorf("milp: internal error, produced invalid placement: %w", err)
+	}
+	return &Result{Placement: pl, T: loads.Max(), Optimal: s.complete, Explored: s.explored}, nil
+}
+
+// lowerBound computes an admissible bound on the final T given the first idx
+// partitions (in branching order) are assigned.
+func (s *solver) lowerBound(idx int) int64 {
+	var lb int64
+	// Ingress can only grow; egress of node i is at least
+	// rowTot+init−kept−(chunks of i it could still keep).
+	for i := 0; i < s.n; i++ {
+		if v := s.ingress[i]; v > lb {
+			lb = v
+		}
+		eg := s.rowTot[i] + s.initEg[i] - s.kept[i] - s.sufChunk[i][idx]
+		if eg > lb {
+			lb = eg
+		}
+	}
+	// Volume bound: the remaining partitions contribute at least sufMin
+	// ingress in total, spread over n receivers at best.
+	var inSum int64
+	for i := 0; i < s.n; i++ {
+		inSum += s.ingress[i]
+	}
+	avg := (inSum + s.sufMin[idx] + int64(s.n) - 1) / int64(s.n)
+	if avg > lb {
+		lb = avg
+	}
+	return lb
+}
+
+func (s *solver) dfs(idx int) bool {
+	s.explored++
+	if s.explored > s.maxExplor {
+		return false
+	}
+	if idx == s.p {
+		t := s.leafT()
+		if t < s.bestT {
+			s.bestT = t
+			s.best = append(s.best[:0], s.dest...)
+		}
+		return true
+	}
+	if s.lowerBound(idx) >= s.bestT {
+		return true // pruned, but subtree fully accounted for
+	}
+	k := s.order[idx]
+
+	// Order children by their immediate T so the first leaf is good.
+	type cand struct {
+		d int
+		t int64
+	}
+	cands := make([]cand, s.n)
+	for d := 0; d < s.n; d++ {
+		in := s.ingress[d] + s.tot[k] - s.m.At(d, k)
+		cands[d] = cand{d, in}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].t != cands[b].t {
+			return cands[a].t < cands[b].t
+		}
+		return cands[a].d < cands[b].d
+	})
+
+	complete := true
+	for _, c := range cands {
+		d := c.d
+		h := s.m.At(d, k)
+		add := s.tot[k] - h
+		if s.ingress[d]+add >= s.bestT {
+			continue // this child (and, since sorted, worse ones) cannot improve
+		}
+		s.dest[k] = d
+		s.kept[d] += h
+		s.ingress[d] += add
+		if !s.dfs(idx + 1) {
+			complete = false
+		}
+		s.kept[d] -= h
+		s.ingress[d] -= add
+		if !complete {
+			break
+		}
+	}
+	return complete
+}
+
+// leafT computes the exact T of the fully assigned state.
+func (s *solver) leafT() int64 {
+	var t int64
+	for i := 0; i < s.n; i++ {
+		eg := s.rowTot[i] + s.initEg[i] - s.kept[i]
+		if eg > t {
+			t = eg
+		}
+		if s.ingress[i] > t {
+			t = s.ingress[i]
+		}
+	}
+	return t
+}
+
+// greedy completes a feasible placement when the search found no incumbent:
+// each partition (branching order) goes to the node minimising the running
+// max port load. This mirrors CCF's greedy but with the milp state.
+func (s *solver) greedy() (*partition.Placement, int64) {
+	kept := make([]int64, s.n)
+	ingress := append([]int64(nil), s.initIn...)
+	dest := make([]int, s.p)
+	for idx := 0; idx < s.p; idx++ {
+		k := s.order[idx]
+		bestD, bestV := 0, int64(1<<62-1)
+		for d := 0; d < s.n; d++ {
+			v := ingress[d] + s.tot[k] - s.m.At(d, k)
+			if v < bestV {
+				bestD, bestV = d, v
+			}
+		}
+		dest[k] = bestD
+		kept[bestD] += s.m.At(bestD, k)
+		ingress[bestD] += s.tot[k] - s.m.At(bestD, k)
+	}
+	var t int64
+	for i := 0; i < s.n; i++ {
+		eg := s.rowTot[i] + s.initEg[i] - kept[i]
+		if eg > t {
+			t = eg
+		}
+		if ingress[i] > t {
+			t = ingress[i]
+		}
+	}
+	return &partition.Placement{Dest: dest}, t
+}

@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccf/internal/coflow"
+)
+
+func TestDepsChainReleasesSequentially(t *testing.T) {
+	// Stage 0 (10 B) → stage 1 (5 B) on the same port: stage 1 must start
+	// at t=10 and finish at 15; its CCT covers only its active transfer.
+	s0 := mkCoflow(0, 0, [3]float64{0, 1, 10})
+	s1 := mkCoflow(1, 0, [3]float64{0, 1, 5})
+	fab, _ := NewFabric(2, 1)
+	sim := NewSimulator(fab, coflow.NewVarys())
+	sim.Deps = map[int][]int{1: {0}}
+	rep, err := sim.Run([]*coflow.Coflow{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Makespan-15) > 1e-9 {
+		t.Errorf("makespan = %g, want 15 (sequential stages)", rep.Makespan)
+	}
+	if math.Abs(rep.CCTs[1]-5) > 1e-9 {
+		t.Errorf("stage-1 CCT = %g, want 5 (measured from release)", rep.CCTs[1])
+	}
+	if math.Abs(s1.Completion-15) > 1e-9 {
+		t.Errorf("stage-1 completion = %g, want 15", s1.Completion)
+	}
+}
+
+func TestDepsForestOverlaps(t *testing.T) {
+	// Two independent 2-stage jobs on disjoint ports overlap fully:
+	// makespan = one job's length, not the sum.
+	j1s0 := mkCoflow(0, 0, [3]float64{0, 1, 10})
+	j1s1 := mkCoflow(1, 0, [3]float64{1, 0, 10})
+	j2s0 := mkCoflow(2, 0, [3]float64{2, 3, 10})
+	j2s1 := mkCoflow(3, 0, [3]float64{3, 2, 10})
+	fab, _ := NewFabric(4, 1)
+	sim := NewSimulator(fab, coflow.NewVarys())
+	sim.Deps = map[int][]int{1: {0}, 3: {2}}
+	rep, err := sim.Run([]*coflow.Coflow{j1s0, j1s1, j2s0, j2s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Makespan-20) > 1e-9 {
+		t.Errorf("makespan = %g, want 20 (jobs overlap)", rep.Makespan)
+	}
+}
+
+func TestDepsDiamond(t *testing.T) {
+	// 0 → {1, 2} → 3: the join stage waits for both parents.
+	c0 := mkCoflow(0, 0, [3]float64{0, 1, 4})
+	c1 := mkCoflow(1, 0, [3]float64{0, 1, 6}) // same port: serial after 0... dep-released at 4
+	c2 := mkCoflow(2, 0, [3]float64{2, 3, 2}) // disjoint port: released at 4, done at 6
+	c3 := mkCoflow(3, 0, [3]float64{0, 1, 1})
+	fab, _ := NewFabric(4, 1)
+	sim := NewSimulator(fab, coflow.NewVarys())
+	sim.Deps = map[int][]int{1: {0}, 2: {0}, 3: {1, 2}}
+	rep, err := sim.Run([]*coflow.Coflow{c0, c1, c2, c3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 done at 4; 1 runs 4..10; 2 runs 4..6; 3 released at 10, done 11.
+	if math.Abs(rep.Makespan-11) > 1e-9 {
+		t.Errorf("makespan = %g, want 11", rep.Makespan)
+	}
+	if math.Abs(c3.Completion-11) > 1e-9 {
+		t.Errorf("sink completion = %g, want 11", c3.Completion)
+	}
+}
+
+func TestDepsValidation(t *testing.T) {
+	c0 := mkCoflow(0, 0, [3]float64{0, 1, 1})
+	fab, _ := NewFabric(2, 1)
+	sim := NewSimulator(fab, coflow.NewVarys())
+	sim.Deps = map[int][]int{0: {9}}
+	if _, err := sim.Run([]*coflow.Coflow{c0}); err == nil {
+		t.Error("accepted a dependency on an unknown coflow")
+	}
+	sim.Deps = map[int][]int{0: {0}}
+	if _, err := sim.Run([]*coflow.Coflow{c0}); err == nil {
+		t.Error("accepted a self-dependency")
+	}
+	sim.Deps = map[int][]int{9: {0}}
+	if _, err := sim.Run([]*coflow.Coflow{c0}); err == nil {
+		t.Error("accepted deps declared for an unknown coflow")
+	}
+}
+
+func TestDepsCycleDetected(t *testing.T) {
+	a := mkCoflow(0, 0, [3]float64{0, 1, 1})
+	b := mkCoflow(1, 0, [3]float64{0, 1, 1})
+	fab, _ := NewFabric(2, 1)
+	sim := NewSimulator(fab, coflow.NewVarys())
+	sim.Deps = map[int][]int{0: {1}, 1: {0}}
+	if _, err := sim.Run([]*coflow.Coflow{a, b}); err == nil {
+		t.Error("dependency cycle not detected")
+	}
+}
+
+func TestDepsWithArrivals(t *testing.T) {
+	// A dependent whose own arrival is later than its parent's completion
+	// waits for the arrival, not just the dependency.
+	s0 := mkCoflow(0, 0, [3]float64{0, 1, 2})
+	s1 := mkCoflow(1, 10, [3]float64{0, 1, 3})
+	fab, _ := NewFabric(2, 1)
+	sim := NewSimulator(fab, coflow.NewVarys())
+	sim.Deps = map[int][]int{1: {0}}
+	rep, err := sim.Run([]*coflow.Coflow{s0, s1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Makespan-13) > 1e-9 {
+		t.Errorf("makespan = %g, want 13 (arrival dominates dependency)", rep.Makespan)
+	}
+}
+
+func TestDepsRandomChainsComplete(t *testing.T) {
+	// Random linear chains over random fabrics always complete and honour
+	// ordering: each stage completes no earlier than its predecessor.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		stages := 2 + rng.Intn(5)
+		var cfs []*coflow.Coflow
+		deps := map[int][]int{}
+		for st := 0; st < stages; st++ {
+			src := rng.Intn(n)
+			dst := (src + 1 + rng.Intn(n-1)) % n
+			cfs = append(cfs, mkCoflow(st, 0, [3]float64{float64(src), float64(dst), float64(1 + rng.Intn(50))}))
+			if st > 0 {
+				deps[st] = []int{st - 1}
+			}
+		}
+		fab, _ := NewFabric(n, 1+float64(rng.Intn(4)))
+		sim := NewSimulator(fab, coflow.NewVarys())
+		sim.Deps = deps
+		rep, err := sim.Run(cfs)
+		if err != nil {
+			return false
+		}
+		if len(rep.CCTs) != stages {
+			return false
+		}
+		for st := 1; st < stages; st++ {
+			if cfs[st].Completion < cfs[st-1].Completion-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,491 @@
+// Package netsim is the network substrate of the reproduction: a flow-level,
+// event-driven simulator over the non-blocking switch abstraction used by
+// Varys, Aalo and the paper — n machines, each with one ingress and one
+// egress port of equal capacity, bandwidth contention only at ports, and a
+// full-bisection core that never blocks.
+//
+// This replaces the CoflowSim back-end of the paper's evaluation. Time
+// advances in fluid epochs: a coflow scheduler assigns per-flow rates, the
+// engine jumps to the next flow completion or coflow arrival, transfers the
+// bytes, and repeats. For a single coflow under MADD allocation the result
+// equals the closed-form bandwidth model of the paper (CCT = max port load /
+// port bandwidth), which is verified by tests.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ccf/internal/coflow"
+)
+
+// DefaultPortBandwidth is 128 MB/s per port, CoflowSim's default link speed
+// (1 Gbps ≈ 125 MB/s rounded to CoflowSim's power-of-two constant).
+const DefaultPortBandwidth = 128e6
+
+// Fabric describes the non-blocking switch: every machine gets one ingress
+// and one egress port. The paper's base model gives all ports the same
+// normalized capacity; the heterogeneous constructor realises the R_l
+// generalization of constraint (1.5) — per-link capacities.
+type Fabric struct {
+	Ports int
+	// EgressCap and InCap are per-port capacities in bytes/sec.
+	EgressCap  []float64
+	IngressCap []float64
+	// maxCap caches the largest port capacity for tolerance checks.
+	maxCap float64
+}
+
+// NewFabric builds a uniform fabric with the CoflowSim default bandwidth
+// when bw <= 0.
+func NewFabric(ports int, bw float64) (Fabric, error) {
+	if ports <= 0 {
+		return Fabric{}, fmt.Errorf("netsim: ports must be positive, got %d", ports)
+	}
+	if bw <= 0 {
+		bw = DefaultPortBandwidth
+	}
+	eg := make([]float64, ports)
+	in := make([]float64, ports)
+	for i := range eg {
+		eg[i], in[i] = bw, bw
+	}
+	return Fabric{Ports: ports, EgressCap: eg, IngressCap: in, maxCap: bw}, nil
+}
+
+// NewHeterogeneousFabric builds a fabric with per-port capacities — the
+// paper's "extended to complex network conditions by adding parameters to
+// these two constraints" (§III.A footnote 4). Both slices must have the same
+// positive length and strictly positive entries.
+func NewHeterogeneousFabric(egress, ingress []float64) (Fabric, error) {
+	if len(egress) == 0 || len(egress) != len(ingress) {
+		return Fabric{}, fmt.Errorf("netsim: capacity slices sized %d/%d; want equal and non-empty",
+			len(egress), len(ingress))
+	}
+	f := Fabric{
+		Ports:      len(egress),
+		EgressCap:  append([]float64(nil), egress...),
+		IngressCap: append([]float64(nil), ingress...),
+	}
+	for p := 0; p < f.Ports; p++ {
+		if egress[p] <= 0 || ingress[p] <= 0 {
+			return Fabric{}, fmt.Errorf("netsim: port %d has non-positive capacity (eg=%g in=%g)",
+				p, egress[p], ingress[p])
+		}
+		if egress[p] > f.maxCap {
+			f.maxCap = egress[p]
+		}
+		if ingress[p] > f.maxCap {
+			f.maxCap = ingress[p]
+		}
+	}
+	return f, nil
+}
+
+// Report summarises one simulation run.
+type Report struct {
+	// Makespan is the finish time of the last flow (seconds).
+	Makespan float64
+	// CCTs maps coflow ID to its completion time (seconds from arrival).
+	CCTs map[int]float64
+	// AvgCCT and MaxCCT aggregate over coflows.
+	AvgCCT float64
+	MaxCCT float64
+	// TotalBytes moved across the network.
+	TotalBytes float64
+	// Epochs counts scheduler invocations (simulation cost metric).
+	Epochs int
+}
+
+// ErrStalled is returned when active flows exist but the scheduler assigns
+// zero aggregate rate and no future arrival can unblock them — a
+// non-work-conserving scheduler bug.
+var ErrStalled = errors.New("netsim: simulation stalled with pending flows")
+
+// completionEps treats a flow as finished when fewer than this many bytes
+// remain, absorbing float rounding across epochs.
+const completionEps = 1e-6
+
+// Simulator runs a set of coflows over a fabric under a scheduler.
+type Simulator struct {
+	fabric Fabric
+	sched  coflow.Scheduler
+	// MaxEpochs bounds the event loop (default 10 million) so scheduler
+	// bugs surface as errors instead of livelocks.
+	MaxEpochs int
+	// Horizon, when positive, stops the simulation at that time instead of
+	// running to completion; flow state (Remaining, Done) is left at the
+	// horizon so callers can inspect the in-flight backlog. The online
+	// co-optimizer uses this to see the network as it will be when a new
+	// operator arrives.
+	Horizon float64
+	// Events injects capacity changes (degradations, repairs) at given
+	// times — the failure-injection hook. Events apply in time order; the
+	// event loop never steps across an event boundary.
+	Events []CapacityEvent
+	// Deps declares coflow dependencies by ID: a coflow becomes eligible
+	// only once all listed predecessor coflows have completed (and its own
+	// Arrival has passed). This models multi-stage analytical jobs — each
+	// stage's shuffle coflow releases when the previous stage finishes.
+	// Cycles and unknown IDs are reported as errors.
+	Deps map[int][]int
+}
+
+// CapacityEvent rescales one port's capacities at a point in time. Factors
+// multiply the port's *configured* capacity (not the current one), so a
+// degradation (factor 0.5) followed by a repair (factor 1) is exact.
+// A zero factor parks the port entirely; flows through it simply wait.
+type CapacityEvent struct {
+	Time          float64
+	Port          int
+	EgressFactor  float64
+	IngressFactor float64
+}
+
+// NewSimulator wires a fabric and a scheduler.
+func NewSimulator(f Fabric, s coflow.Scheduler) *Simulator {
+	return &Simulator{fabric: f, sched: s, MaxEpochs: 10_000_000}
+}
+
+// Run simulates the given coflows to completion and fills in per-flow
+// EndTime, per-coflow Completion, and the aggregate report. Coflows may
+// arrive at different times; flows within a coflow start at its arrival.
+func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
+	for _, c := range coflows {
+		for _, f := range c.Flows {
+			if f.Src < 0 || f.Src >= s.fabric.Ports || f.Dst < 0 || f.Dst >= s.fabric.Ports {
+				return nil, fmt.Errorf("netsim: flow %d of coflow %d uses port (%d→%d) outside fabric of %d ports",
+					f.ID, c.ID, f.Src, f.Dst, s.fabric.Ports)
+			}
+			if f.Src == f.Dst {
+				return nil, fmt.Errorf("netsim: flow %d of coflow %d is a self-loop at port %d", f.ID, c.ID, f.Src)
+			}
+			f.Remaining = f.Size
+			f.Done = f.Size <= 0
+			f.Rate = 0
+		}
+		c.Completed = false
+		c.SentBytes = 0
+	}
+
+	pending := append([]*coflow.Coflow(nil), coflows...)
+	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Arrival < pending[b].Arrival })
+
+	// Dependency bookkeeping.
+	completed := make(map[int]bool, len(coflows))
+	if len(s.Deps) > 0 {
+		known := make(map[int]bool, len(coflows))
+		for _, c := range coflows {
+			known[c.ID] = true
+		}
+		for id, deps := range s.Deps {
+			if !known[id] {
+				return nil, fmt.Errorf("netsim: dependency declared for unknown coflow %d", id)
+			}
+			for _, dep := range deps {
+				if !known[dep] {
+					return nil, fmt.Errorf("netsim: coflow %d depends on unknown coflow %d", id, dep)
+				}
+				if dep == id {
+					return nil, fmt.Errorf("netsim: coflow %d depends on itself", id)
+				}
+			}
+		}
+	}
+	depsDone := func(c *coflow.Coflow) bool {
+		for _, dep := range s.Deps[c.ID] {
+			if !completed[dep] {
+				return false
+			}
+		}
+		return true
+	}
+
+	events := append([]CapacityEvent(nil), s.Events...)
+	sort.SliceStable(events, func(a, b int) bool { return events[a].Time < events[b].Time })
+	for _, ev := range events {
+		if ev.Port < 0 || ev.Port >= s.fabric.Ports {
+			return nil, fmt.Errorf("netsim: capacity event targets port %d outside fabric of %d ports", ev.Port, s.fabric.Ports)
+		}
+		if ev.EgressFactor < 0 || ev.IngressFactor < 0 {
+			return nil, fmt.Errorf("netsim: capacity event at t=%g has negative factor", ev.Time)
+		}
+	}
+	egFac := make([]float64, s.fabric.Ports)
+	inFac := make([]float64, s.fabric.Ports)
+	for p := range egFac {
+		egFac[p], inFac[p] = 1, 1
+	}
+
+	var active []*coflow.Coflow
+	now := 0.0
+	if len(pending) > 0 {
+		now = pending[0].Arrival
+	}
+	rep := &Report{CCTs: make(map[int]float64, len(coflows))}
+
+	egCap := make([]float64, s.fabric.Ports)
+	inCap := make([]float64, s.fabric.Ports)
+
+	for epoch := 0; ; epoch++ {
+		if epoch >= s.MaxEpochs {
+			return nil, fmt.Errorf("netsim: exceeded %d epochs (scheduler %q livelock?)", s.MaxEpochs, s.sched.Name())
+		}
+		// Admit arrivals (time reached and dependencies completed) and
+		// apply due capacity events. A dependency-gated coflow's Arrival is
+		// advanced to its release time so its CCT measures active transfer.
+		stillPending := pending[:0]
+		for _, c := range pending {
+			if c.Arrival <= now+1e-12 && depsDone(c) {
+				if c.Arrival < now {
+					c.Arrival = now
+				}
+				active = append(active, c)
+				continue
+			}
+			stillPending = append(stillPending, c)
+		}
+		pending = stillPending
+		for len(events) > 0 && events[0].Time <= now+1e-12 {
+			ev := events[0]
+			events = events[1:]
+			egFac[ev.Port] = ev.EgressFactor
+			inFac[ev.Port] = ev.IngressFactor
+		}
+		// Retire completed coflows.
+		live := active[:0]
+		for _, c := range active {
+			if coflowDone(c) {
+				if !c.Completed {
+					c.Completed = true
+					c.Completion = now
+					completed[c.ID] = true
+					rep.CCTs[c.ID] = c.CCT()
+				}
+				continue
+			}
+			live = append(live, c)
+		}
+		active = live
+
+		if s.Horizon > 0 && now >= s.Horizon-1e-12 {
+			now = s.Horizon
+			break
+		}
+		if len(active) == 0 {
+			if len(pending) == 0 {
+				break
+			}
+			// Jump to the first eligible (dependency-satisfied) arrival.
+			next := math.Inf(1)
+			for _, c := range pending {
+				if depsDone(c) {
+					next = c.Arrival
+					break // pending stays sorted by arrival
+				}
+			}
+			if math.IsInf(next, 1) {
+				return nil, fmt.Errorf("netsim: %d coflows blocked on dependencies that can never complete (cycle?)", len(pending))
+			}
+			if s.Horizon > 0 && next >= s.Horizon {
+				now = s.Horizon
+				break
+			}
+			// A dependency released mid-run has an arrival in the past;
+			// time never rewinds — re-run admission at the current time.
+			if next > now {
+				now = next
+			}
+			continue
+		}
+
+		// Scheduling epoch.
+		rep.Epochs++
+		for p := 0; p < s.fabric.Ports; p++ {
+			egCap[p] = s.fabric.EgressCap[p] * egFac[p]
+			inCap[p] = s.fabric.IngressCap[p] * inFac[p]
+		}
+		s.sched.Allocate(now, active, egCap, inCap)
+		if err := s.checkRates(active, egFac, inFac); err != nil {
+			return nil, err
+		}
+
+		// Time to next completion at current rates.
+		dt := math.Inf(1)
+		for _, c := range active {
+			for _, f := range c.Flows {
+				if f.Done || f.Rate <= 0 {
+					continue
+				}
+				if t := f.Remaining / f.Rate; t < dt {
+					dt = t
+				}
+			}
+		}
+		// ... or next eligible arrival or capacity event, whichever first.
+		// Dependency-gated coflows release at a completion, which is
+		// already a dt boundary, so only dependency-satisfied arrivals
+		// bound the step.
+		for _, c := range pending {
+			if depsDone(c) {
+				if t := c.Arrival - now; t >= 0 && t < dt {
+					dt = t
+				}
+				break
+			}
+		}
+		if len(events) > 0 {
+			if t := events[0].Time - now; t < dt {
+				dt = t
+			}
+		}
+		if s.Horizon > 0 && now+dt > s.Horizon {
+			dt = s.Horizon - now
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("%w: %d coflows active under scheduler %q", ErrStalled, len(active), s.sched.Name())
+		}
+
+		// Advance.
+		now += dt
+		for _, c := range active {
+			for _, f := range c.Flows {
+				if f.Done || f.Rate <= 0 {
+					continue
+				}
+				moved := f.Rate * dt
+				if moved > f.Remaining {
+					moved = f.Remaining
+				}
+				f.Remaining -= moved
+				c.SentBytes += moved
+				rep.TotalBytes += moved
+				if f.Remaining <= completionEps {
+					f.Remaining = 0
+					f.Done = true
+					f.EndTime = now
+				}
+			}
+		}
+	}
+
+	rep.Makespan = now
+	for _, cct := range rep.CCTs {
+		rep.AvgCCT += cct
+		if cct > rep.MaxCCT {
+			rep.MaxCCT = cct
+		}
+	}
+	if len(rep.CCTs) > 0 {
+		rep.AvgCCT /= float64(len(rep.CCTs))
+	}
+	return rep, nil
+}
+
+// checkRates validates the scheduler respected port capacities (with a 0.1%
+// tolerance for float accumulation). Catching violations here keeps every
+// scheduler honest under the property tests.
+func (s *Simulator) checkRates(active []*coflow.Coflow, egFac, inFac []float64) error {
+	eg := make([]float64, s.fabric.Ports)
+	in := make([]float64, s.fabric.Ports)
+	for _, c := range active {
+		for _, f := range c.Flows {
+			if f.Done {
+				continue
+			}
+			if f.Rate < 0 {
+				return fmt.Errorf("netsim: scheduler %q set negative rate %g on flow %d", s.sched.Name(), f.Rate, f.ID)
+			}
+			eg[f.Src] += f.Rate
+			in[f.Dst] += f.Rate
+		}
+	}
+	const tolAbs = 1e-9
+	tol := 1 + 1e-3
+	for p := 0; p < s.fabric.Ports; p++ {
+		egLim := s.fabric.EgressCap[p] * egFac[p] * tol
+		inLim := s.fabric.IngressCap[p] * inFac[p] * tol
+		if eg[p] > egLim+tolAbs || in[p] > inLim+tolAbs {
+			return fmt.Errorf("netsim: scheduler %q oversubscribed port %d (eg=%.3g/%.3g in=%.3g/%.3g)",
+				s.sched.Name(), p, eg[p], egLim, in[p], inLim)
+		}
+	}
+	return nil
+}
+
+func coflowDone(c *coflow.Coflow) bool {
+	for _, f := range c.Flows {
+		if !f.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// PortBacklog sums the remaining bytes of unfinished flows on each port —
+// the network state a horizon-limited simulation leaves behind, and the
+// initial-load input the online co-optimizer feeds to placement.
+func PortBacklog(n int, coflows []*coflow.Coflow) (egress, ingress []int64) {
+	egress = make([]int64, n)
+	ingress = make([]int64, n)
+	for _, c := range coflows {
+		for _, f := range c.Flows {
+			if f.Done {
+				continue
+			}
+			r := int64(f.Remaining + 0.5)
+			egress[f.Src] += r
+			ingress[f.Dst] += r
+		}
+	}
+	return egress, ingress
+}
+
+// BandwidthModelCCT computes the closed-form single-coflow CCT of the
+// paper's model: max over ports of load divided by port bandwidth. The
+// event simulator under MADD matches this exactly; large experiments use the
+// closed form to avoid materialising O(n²) flows.
+func BandwidthModelCCT(egress, ingress []int64, bandwidth float64) float64 {
+	var m int64
+	for _, v := range egress {
+		if v > m {
+			m = v
+		}
+	}
+	for _, v := range ingress {
+		if v > m {
+			m = v
+		}
+	}
+	return float64(m) / bandwidth
+}
+
+// WeightedBandwidthModelCCT is the heterogeneous-capacity counterpart: the
+// single-coflow CCT is the maximum over ports of load divided by that port's
+// capacity, matching the R_l-parameterised constraints (2.1)/(2.2).
+func WeightedBandwidthModelCCT(egress, ingress []int64, egCap, inCap []float64) (float64, error) {
+	if len(egress) != len(egCap) || len(ingress) != len(inCap) {
+		return 0, fmt.Errorf("netsim: loads sized %d/%d vs capacities %d/%d",
+			len(egress), len(ingress), len(egCap), len(inCap))
+	}
+	var t float64
+	for p, v := range egress {
+		if egCap[p] <= 0 {
+			return 0, fmt.Errorf("netsim: non-positive egress capacity at port %d", p)
+		}
+		if x := float64(v) / egCap[p]; x > t {
+			t = x
+		}
+	}
+	for p, v := range ingress {
+		if inCap[p] <= 0 {
+			return 0, fmt.Errorf("netsim: non-positive ingress capacity at port %d", p)
+		}
+		if x := float64(v) / inCap[p]; x > t {
+			t = x
+		}
+	}
+	return t, nil
+}

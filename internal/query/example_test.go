@@ -1,0 +1,41 @@
+package query_test
+
+import (
+	"fmt"
+
+	"ccf/internal/placement"
+	"ccf/internal/query"
+)
+
+// A two-table analytical job written in the textual plan language, executed
+// over a 2-node cluster with CCF placement.
+func ExampleParsePlan() {
+	plan, err := query.ParsePlan("aggregate(join(L, R), partial)")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	l := query.NewTable("L", 2, 10)
+	l.Frags[0] = []query.Row{{Key: 1, Value: 100}, {Key: 2, Value: 200}}
+	r := query.NewTable("R", 2, 10)
+	r.Frags[1] = []query.Row{{Key: 1, Value: 1}, {Key: 1, Value: 2}, {Key: 3, Value: 3}}
+
+	exec, err := query.NewExecutor(query.Config{Nodes: 2, Scheduler: placement.CCF{}}, l, r)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := exec.Execute(plan)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// key 1 joins twice: (100+1) + (100+2) = 203, grouped to one row.
+	for _, row := range res.Output.Gather() {
+		fmt.Printf("key %d sum %d\n", row.Key, row.Value)
+	}
+	fmt.Println("plan:", query.FormatPlan(plan))
+	// Output:
+	// key 1 sum 203
+	// plan: aggregate(join(L, R), partial)
+}

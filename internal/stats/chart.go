@@ -1,0 +1,174 @@
+package stats
+
+// Terminal charts: render a Table's series as an ASCII line chart so
+// `ccfbench -chart` can show each figure's *shape* directly in the
+// terminal, next to the numeric rows. One character column per x position
+// (interpolated when the canvas is wider), one glyph per series.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// chartGlyphs mark the series, in order.
+var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// ChartOptions size the canvas.
+type ChartOptions struct {
+	// Width and Height of the plotting area in characters (excluding
+	// axes). Zero values default to 60×16.
+	Width, Height int
+	// LogY plots log10(y); zero and negative values clamp to the smallest
+	// positive datum. Useful for the paper's time panels, which span two
+	// orders of magnitude.
+	LogY bool
+}
+
+// RenderChart draws every series of the table on one canvas.
+func RenderChart(w io.Writer, t *Table, opts ChartOptions) error {
+	if len(t.X) == 0 || len(t.Series) == 0 {
+		return fmt.Errorf("stats: chart needs at least one x point and one series")
+	}
+	if opts.Width <= 0 {
+		opts.Width = 60
+	}
+	if opts.Height <= 0 {
+		opts.Height = 16
+	}
+
+	transform := func(v float64) (float64, bool) { return v, true }
+	if opts.LogY {
+		// Find the smallest positive value for clamping.
+		minPos := math.Inf(1)
+		for _, s := range t.Series {
+			for _, v := range s.Values {
+				if v > 0 && v < minPos {
+					minPos = v
+				}
+			}
+		}
+		if math.IsInf(minPos, 1) {
+			return fmt.Errorf("stats: log chart needs at least one positive value")
+		}
+		transform = func(v float64) (float64, bool) {
+			if v <= 0 {
+				v = minPos
+			}
+			return math.Log10(v), true
+		}
+	}
+
+	// Data ranges after transformation.
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		for _, v := range s.Values {
+			tv, ok := transform(v)
+			if !ok {
+				continue
+			}
+			yLo = math.Min(yLo, tv)
+			yHi = math.Max(yHi, tv)
+		}
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	xLo, xHi := t.X[0], t.X[len(t.X)-1]
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+
+	canvas := make([][]byte, opts.Height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	plot := func(xFrac, yFrac float64, glyph byte) {
+		col := int(xFrac*float64(opts.Width-1) + 0.5)
+		row := opts.Height - 1 - int(yFrac*float64(opts.Height-1)+0.5)
+		if col < 0 || col >= opts.Width || row < 0 || row >= opts.Height {
+			return
+		}
+		canvas[row][col] = glyph
+	}
+	for si, s := range t.Series {
+		glyph := chartGlyphs[si%len(chartGlyphs)]
+		// Interpolate between consecutive points so lines stay connected
+		// when the canvas is wider than the series.
+		for col := 0; col < opts.Width; col++ {
+			xFrac := float64(col) / float64(opts.Width-1)
+			x := xLo + xFrac*(xHi-xLo)
+			y, ok := interp(t.X, s.Values, x)
+			if !ok {
+				continue
+			}
+			ty, ok := transform(y)
+			if !ok {
+				continue
+			}
+			plot(xFrac, (ty-yLo)/(yHi-yLo), glyph)
+		}
+	}
+
+	// Emit with a y-axis gutter.
+	scale := "linear"
+	if opts.LogY {
+		scale = "log10"
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s vs %s (%s scale)\n", t.Title, t.YLabel, t.XLabel, scale); err != nil {
+		return err
+	}
+	hiLabel, loLabel := yHi, yLo
+	if opts.LogY {
+		hiLabel, loLabel = math.Pow(10, yHi), math.Pow(10, yLo)
+	}
+	for r, line := range canvas {
+		gutter := "          "
+		switch r {
+		case 0:
+			gutter = fmt.Sprintf("%9.3g ", hiLabel)
+		case opts.Height - 1:
+			gutter = fmt.Sprintf("%9.3g ", loLabel)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", gutter, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", opts.Width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s%-10.4g%*.4g\n", strings.Repeat(" ", 11), xLo, opts.Width-10, xHi); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(t.Series))
+	for si, s := range t.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", chartGlyphs[si%len(chartGlyphs)], s.Label))
+	}
+	_, err := fmt.Fprintf(w, "%s%s\n", strings.Repeat(" ", 11), strings.Join(legend, "   "))
+	return err
+}
+
+// interp linearly interpolates (xs, ys) at x; xs must be increasing.
+func interp(xs, ys []float64, x float64) (float64, bool) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, false
+	}
+	if x <= xs[0] {
+		return ys[0], true
+	}
+	if x >= xs[len(xs)-1] {
+		return ys[len(ys)-1], true
+	}
+	for i := 1; i < len(xs); i++ {
+		if x <= xs[i] {
+			span := xs[i] - xs[i-1]
+			if span == 0 {
+				return ys[i], true
+			}
+			frac := (x - xs[i-1]) / span
+			return ys[i-1]*(1-frac) + ys[i]*frac, true
+		}
+	}
+	return ys[len(ys)-1], true
+}

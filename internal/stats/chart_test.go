@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func chartTable() *Table {
+	tbl := &Table{Title: "Fig", XLabel: "nodes", YLabel: "time", X: []float64{100, 200, 300}}
+	_ = tbl.AddSeries("Hash", []float64{10, 10, 10})
+	_ = tbl.AddSeries("CCF", []float64{8, 4, 2})
+	return tbl
+}
+
+func TestRenderChartBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, chartTable(), ChartOptions{Width: 30, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig", "time", "nodes", "* Hash", "o CCF", "linear"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Both glyphs must appear on the canvas.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series glyphs missing from canvas")
+	}
+	// Flat series paints the same row: count rows containing '*'.
+	starRows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") && strings.Contains(line, "*") {
+			starRows++
+		}
+	}
+	if starRows != 1 {
+		t.Errorf("flat series spans %d rows, want 1", starRows)
+	}
+}
+
+func TestRenderChartLogScale(t *testing.T) {
+	tbl := &Table{Title: "L", XLabel: "x", YLabel: "y", X: []float64{1, 2}}
+	_ = tbl.AddSeries("s", []float64{1, 1000})
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, tbl, ChartOptions{Width: 20, Height: 6, LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "log10") {
+		t.Error("log chart not labelled")
+	}
+	// Zero/negative values are clamped, not fatal.
+	tbl2 := &Table{Title: "Z", XLabel: "x", YLabel: "y", X: []float64{1, 2}}
+	_ = tbl2.AddSeries("s", []float64{0, 10})
+	if err := RenderChart(&buf, tbl2, ChartOptions{LogY: true}); err != nil {
+		t.Errorf("log chart with a zero value: %v", err)
+	}
+	// All-nonpositive is an error.
+	tbl3 := &Table{Title: "N", XLabel: "x", YLabel: "y", X: []float64{1}}
+	_ = tbl3.AddSeries("s", []float64{0})
+	if err := RenderChart(&buf, tbl3, ChartOptions{LogY: true}); err == nil {
+		t.Error("accepted an all-zero log chart")
+	}
+}
+
+func TestRenderChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, &Table{}, ChartOptions{}); err == nil {
+		t.Error("accepted an empty table")
+	}
+}
+
+func TestRenderChartConstantSeries(t *testing.T) {
+	tbl := &Table{Title: "C", XLabel: "x", YLabel: "y", X: []float64{5, 5}}
+	_ = tbl.AddSeries("s", []float64{3, 3})
+	var buf bytes.Buffer
+	if err := RenderChart(&buf, tbl, ChartOptions{Width: 10, Height: 4}); err != nil {
+		t.Errorf("degenerate ranges must not error: %v", err)
+	}
+}
+
+func TestInterp(t *testing.T) {
+	xs := []float64{0, 10, 20}
+	ys := []float64{0, 100, 50}
+	cases := []struct{ x, want float64 }{
+		{-5, 0}, {0, 0}, {5, 50}, {10, 100}, {15, 75}, {20, 50}, {25, 50},
+	}
+	for _, tc := range cases {
+		got, ok := interp(xs, ys, tc.x)
+		if !ok || got != tc.want {
+			t.Errorf("interp(%g) = %g (%v), want %g", tc.x, got, ok, tc.want)
+		}
+	}
+	if _, ok := interp(nil, nil, 1); ok {
+		t.Error("interp accepted empty input")
+	}
+	if _, ok := interp([]float64{1}, []float64{1, 2}, 1); ok {
+		t.Error("interp accepted mismatched lengths")
+	}
+}

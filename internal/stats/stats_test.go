@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAddSeriesValidatesLength(t *testing.T) {
+	tbl := &Table{X: []float64{1, 2, 3}}
+	if err := tbl.AddSeries("ok", []float64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddSeries("bad", []float64{1}); err == nil {
+		t.Error("AddSeries accepted a mis-sized series")
+	}
+	if _, ok := tbl.Get("ok"); !ok {
+		t.Error("Get failed to find added series")
+	}
+	if _, ok := tbl.Get("missing"); ok {
+		t.Error("Get found a series that was never added")
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	base := Series{Label: "Hash", Values: []float64{10, 20}}
+	other := Series{Label: "CCF", Values: []float64{5, 4}}
+	sp, err := Speedups(base, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[0] != 2 || sp[1] != 5 {
+		t.Errorf("speedups = %v, want [2 5]", sp)
+	}
+	if _, err := Speedups(base, Series{Values: []float64{1}}); err == nil {
+		t.Error("Speedups accepted mismatched lengths")
+	}
+	inf, err := Speedups(base, Series{Values: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(inf[0], 1) {
+		t.Errorf("division by zero should be +Inf, got %g", inf[0])
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, math.NaN(), -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%g, %g), want (-1, 7)", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Errorf("empty MinMax = (%g, %g), want (0, 0)", lo, hi)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("empty Mean = %g, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{5, 1, 3}
+	if got := Percentile(v, 0); got != 1 {
+		t.Errorf("p0 = %g, want 1", got)
+	}
+	if got := Percentile(v, 100); got != 5 {
+		t.Errorf("p100 = %g, want 5", got)
+	}
+	if got := Percentile(v, 50); got != 3 {
+		t.Errorf("p50 = %g, want 3", got)
+	}
+	if got := Percentile([]float64{1, 2}, 50); got != 1.5 {
+		t.Errorf("interpolated p50 = %g, want 1.5", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %g, want 0", got)
+	}
+	// Input must not be reordered.
+	if v[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func makeTable() *Table {
+	tbl := &Table{Title: "Figure X", XLabel: "nodes", YLabel: "time", X: []float64{100, 200}}
+	_ = tbl.AddSeries("Hash", []float64{10, 20.5})
+	_ = tbl.AddSeries("CCF", []float64{5, 8})
+	return tbl
+}
+
+func TestRenderASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderASCII(&buf, makeTable()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure X", "nodes", "Hash", "CCF", "100", "20.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderCSV(&buf, makeTable()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3", len(lines))
+	}
+	if lines[0] != "nodes,Hash,CCF" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "100,10,5" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "200,20.5,8" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}

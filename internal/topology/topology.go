@@ -1,0 +1,463 @@
+// Package topology generalises the non-blocking switch to real data-center
+// fabrics, realising the paper's link-set constraint in full:
+//
+//	Σ_{flows f crossing link l} b_f ≤ R_l        ∀ l  (constraint 1.5)
+//
+// where each flow f_ij owns a link set L_ij. The base model (every L_ij =
+// {egress_i, ingress_j} with equal R) is NewNonBlocking; NewLeafSpine builds
+// the two-tier topology the RAPIER discussion targets — hosts under ToR
+// switches whose uplinks to a non-blocking spine may be oversubscribed, so
+// cross-rack traffic contends on shared rack links.
+//
+// The package provides exact single-coflow CCT under MADD over links, a
+// link-level fluid simulator for online verification, and RackAwareCCF — the
+// paper's Algorithm 1 extended with rack-uplink/downlink terms, which stays
+// O(p·(n + racks)) thanks to the same top-2 bookkeeping as the base placer.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"ccf/internal/coflow"
+)
+
+// LinkKind labels the role of a link in the fabric.
+type LinkKind int
+
+// Link kinds.
+const (
+	HostUp LinkKind = iota
+	HostDown
+	RackUp
+	RackDown
+)
+
+// Link is one directed capacity constraint.
+type Link struct {
+	ID   int
+	Kind LinkKind
+	// Index is the host (HostUp/HostDown) or rack (RackUp/RackDown) index.
+	Index int
+	Cap   float64 // bytes/sec
+}
+
+// Topology is a set of hosts, links, and per-pair paths.
+type Topology struct {
+	N     int
+	Links []Link
+	// rackOf[i] is host i's rack (all zero for the non-blocking fabric).
+	rackOf []int
+	racks  int
+	// hostUp[i], hostDown[i], rackUp[r], rackDown[r] are link IDs.
+	hostUp, hostDown, rackUp, rackDown []int
+}
+
+// NewNonBlocking builds the paper's base model as a degenerate topology:
+// one rack with an infinitely fast core, so only host links constrain.
+func NewNonBlocking(n int, bw float64) (*Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: need positive host count, got %d", n)
+	}
+	if bw <= 0 {
+		return nil, fmt.Errorf("topology: need positive bandwidth, got %g", bw)
+	}
+	return build(1, n, bw, math.Inf(1))
+}
+
+// NewLeafSpine builds racks × hostsPerRack hosts; every host has hostBw
+// up/down links to its ToR, and every ToR has uplinkBw up/down links to a
+// non-blocking spine. uplinkBw < hostsPerRack × hostBw means the core is
+// oversubscribed (the interesting regime).
+func NewLeafSpine(racks, hostsPerRack int, hostBw, uplinkBw float64) (*Topology, error) {
+	if racks <= 0 || hostsPerRack <= 0 {
+		return nil, fmt.Errorf("topology: need positive racks (%d) and hosts per rack (%d)", racks, hostsPerRack)
+	}
+	if hostBw <= 0 || uplinkBw <= 0 {
+		return nil, fmt.Errorf("topology: need positive bandwidths (host %g, uplink %g)", hostBw, uplinkBw)
+	}
+	return build(racks, hostsPerRack, hostBw, uplinkBw)
+}
+
+func build(racks, perRack int, hostBw, uplinkBw float64) (*Topology, error) {
+	n := racks * perRack
+	t := &Topology{
+		N: n, racks: racks,
+		rackOf:   make([]int, n),
+		hostUp:   make([]int, n),
+		hostDown: make([]int, n),
+		rackUp:   make([]int, racks),
+		rackDown: make([]int, racks),
+	}
+	add := func(kind LinkKind, idx int, cap_ float64) int {
+		id := len(t.Links)
+		t.Links = append(t.Links, Link{ID: id, Kind: kind, Index: idx, Cap: cap_})
+		return id
+	}
+	for i := 0; i < n; i++ {
+		t.rackOf[i] = i / perRack
+		t.hostUp[i] = add(HostUp, i, hostBw)
+		t.hostDown[i] = add(HostDown, i, hostBw)
+	}
+	for r := 0; r < racks; r++ {
+		t.rackUp[r] = add(RackUp, r, uplinkBw)
+		t.rackDown[r] = add(RackDown, r, uplinkBw)
+	}
+	return t, nil
+}
+
+// Racks returns the number of racks.
+func (t *Topology) Racks() int { return t.racks }
+
+// RackOf returns the rack of host i.
+func (t *Topology) RackOf(i int) int { return t.rackOf[i] }
+
+// Path returns L_ij: the link IDs flow i→j traverses. Intra-rack flows use
+// only host links; cross-rack flows add the two rack links.
+func (t *Topology) Path(i, j int) []int {
+	if t.rackOf[i] == t.rackOf[j] {
+		return []int{t.hostUp[i], t.hostDown[j]}
+	}
+	return []int{t.hostUp[i], t.rackUp[t.rackOf[i]], t.rackDown[t.rackOf[j]], t.hostDown[j]}
+}
+
+// Oversubscription returns the rack oversubscription ratio
+// (hostsPerRack × hostBw / uplinkBw); 0 for a single-rack fabric.
+func (t *Topology) Oversubscription() float64 {
+	if t.racks <= 1 {
+		return 0
+	}
+	perRack := t.N / t.racks
+	return float64(perRack) * t.Links[t.hostUp[0]].Cap / t.Links[t.rackUp[0]].Cap
+}
+
+// LinkLoads accumulates the bytes crossing every link for an n×n volume
+// matrix (row-major, diagonal ignored).
+func (t *Topology) LinkLoads(vol []int64) ([]int64, error) {
+	if len(vol) != t.N*t.N {
+		return nil, fmt.Errorf("topology: volume matrix has %d entries, want %d", len(vol), t.N*t.N)
+	}
+	loads := make([]int64, len(t.Links))
+	for i := 0; i < t.N; i++ {
+		for j := 0; j < t.N; j++ {
+			v := vol[i*t.N+j]
+			if i == j || v <= 0 {
+				continue
+			}
+			for _, l := range t.Path(i, j) {
+				loads[l] += v
+			}
+		}
+	}
+	return loads, nil
+}
+
+// SingleCoflowCCT is the closed-form CCT of one coflow under MADD over
+// links: every flow gets rate proportional to its volume, so completion is
+// bound by the most loaded link relative to its capacity.
+func (t *Topology) SingleCoflowCCT(vol []int64) (float64, error) {
+	loads, err := t.LinkLoads(vol)
+	if err != nil {
+		return 0, err
+	}
+	var cct float64
+	for id, load := range loads {
+		if load == 0 {
+			continue
+		}
+		if x := float64(load) / t.Links[id].Cap; x > cct {
+			cct = x
+		}
+	}
+	return cct, nil
+}
+
+// ---------------------------------------------------------------------------
+// Link-level fluid simulation.
+// ---------------------------------------------------------------------------
+
+// maddOverLinks assigns every non-done flow rate remaining/τ where τ is the
+// bottleneck over links, consuming residual capacities. Mirrors
+// coflow.maddAllocate but over arbitrary link sets.
+func (t *Topology) maddOverLinks(c *coflow.Coflow, resid []float64) {
+	need := make(map[int]float64)
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		for _, l := range t.Path(f.Src, f.Dst) {
+			need[l] += f.Remaining
+		}
+	}
+	tau := 0.0
+	for l, v := range need {
+		if resid[l] <= 0 {
+			return // blocked; leave rates at zero
+		}
+		if x := v / resid[l]; x > tau {
+			tau = x
+		}
+	}
+	if tau == 0 {
+		return
+	}
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		r := f.Remaining / tau
+		f.Rate += r
+		for _, l := range t.Path(f.Src, f.Dst) {
+			resid[l] -= r
+		}
+	}
+}
+
+// waterFillOverLinks max-min fair shares residual link capacity across the
+// given flows (progressive filling over links).
+func (t *Topology) waterFillOverLinks(flows []*coflow.Flow, resid []float64) {
+	frozen := make([]bool, len(flows))
+	remaining := 0
+	for i, f := range flows {
+		if f.Done {
+			frozen[i] = true
+		} else {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		cnt := make(map[int]int)
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			for _, l := range t.Path(f.Src, f.Dst) {
+				cnt[l]++
+			}
+		}
+		alpha := math.Inf(1)
+		for l, c := range cnt {
+			if a := resid[l] / float64(c); a < alpha {
+				alpha = a
+			}
+		}
+		if math.IsInf(alpha, 1) || alpha <= 0 {
+			break
+		}
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			f.Rate += alpha
+			for _, l := range t.Path(f.Src, f.Dst) {
+				resid[l] -= alpha
+			}
+		}
+		next := 0
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			sat := false
+			for _, l := range t.Path(f.Src, f.Dst) {
+				if resid[l] <= 1e-12 {
+					sat = true
+					break
+				}
+			}
+			if sat {
+				frozen[i] = true
+			} else {
+				next++
+			}
+		}
+		if next == remaining {
+			// Defensive progress guarantee.
+			for i := range frozen {
+				if !frozen[i] {
+					frozen[i] = true
+					next--
+					break
+				}
+			}
+		}
+		remaining = next
+	}
+}
+
+// Report mirrors netsim.Report for the link-level simulator.
+type Report struct {
+	Makespan   float64
+	CCTs       map[int]float64
+	AvgCCT     float64
+	MaxCCT     float64
+	TotalBytes float64
+	Epochs     int
+}
+
+// Simulate runs coflows over the topology with SEBF ordering, MADD-over-
+// links allocation and work-conserving backfill — Varys generalised to
+// arbitrary link sets (the RAPIER setting without route choice, since the
+// leaf-spine has a single path per pair).
+func (t *Topology) Simulate(coflows []*coflow.Coflow) (*Report, error) {
+	for _, c := range coflows {
+		for _, f := range c.Flows {
+			if f.Src < 0 || f.Src >= t.N || f.Dst < 0 || f.Dst >= t.N || f.Src == f.Dst {
+				return nil, fmt.Errorf("topology: flow %d of coflow %d has invalid endpoints %d→%d",
+					f.ID, c.ID, f.Src, f.Dst)
+			}
+			f.Remaining = f.Size
+			f.Done = f.Size <= 0
+			f.Rate = 0
+		}
+		c.Completed = false
+		c.SentBytes = 0
+	}
+	rep := &Report{CCTs: make(map[int]float64, len(coflows))}
+	pending := make([]*coflow.Coflow, len(coflows))
+	copy(pending, coflows)
+	// Insertion sort by arrival keeps this dependency-free.
+	for i := 1; i < len(pending); i++ {
+		for j := i; j > 0 && pending[j].Arrival < pending[j-1].Arrival; j-- {
+			pending[j], pending[j-1] = pending[j-1], pending[j]
+		}
+	}
+	var active []*coflow.Coflow
+	now := 0.0
+	if len(pending) > 0 {
+		now = pending[0].Arrival
+	}
+	resid := make([]float64, len(t.Links))
+
+	for epoch := 0; ; epoch++ {
+		if epoch > 10_000_000 {
+			return nil, fmt.Errorf("topology: simulation exceeded 10M epochs")
+		}
+		for len(pending) > 0 && pending[0].Arrival <= now+1e-12 {
+			active = append(active, pending[0])
+			pending = pending[1:]
+		}
+		live := active[:0]
+		for _, c := range active {
+			done := true
+			for _, f := range c.Flows {
+				if !f.Done {
+					done = false
+					break
+				}
+			}
+			if done {
+				if !c.Completed {
+					c.Completed = true
+					c.Completion = now
+					rep.CCTs[c.ID] = c.CCT()
+				}
+				continue
+			}
+			live = append(live, c)
+		}
+		active = live
+		if len(active) == 0 {
+			if len(pending) == 0 {
+				break
+			}
+			now = pending[0].Arrival
+			continue
+		}
+
+		rep.Epochs++
+		for l := range resid {
+			resid[l] = t.Links[l].Cap
+		}
+		for _, c := range active {
+			for _, f := range c.Flows {
+				f.Rate = 0
+			}
+		}
+		// SEBF over link bottlenecks.
+		order := append([]*coflow.Coflow(nil), active...)
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && t.bottleneck(order[j]) < t.bottleneck(order[j-1]); j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for _, c := range order {
+			t.maddOverLinks(c, resid)
+		}
+		var all []*coflow.Flow
+		for _, c := range active {
+			for _, f := range c.Flows {
+				if !f.Done {
+					all = append(all, f)
+				}
+			}
+		}
+		t.waterFillOverLinks(all, resid)
+
+		dt := math.Inf(1)
+		for _, f := range all {
+			if f.Rate > 0 {
+				if x := f.Remaining / f.Rate; x < dt {
+					dt = x
+				}
+			}
+		}
+		if len(pending) > 0 {
+			if x := pending[0].Arrival - now; x < dt {
+				dt = x
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("topology: simulation stalled with %d active coflows", len(active))
+		}
+		now += dt
+		for _, c := range active {
+			for _, f := range c.Flows {
+				if f.Done || f.Rate <= 0 {
+					continue
+				}
+				moved := math.Min(f.Rate*dt, f.Remaining)
+				f.Remaining -= moved
+				c.SentBytes += moved
+				rep.TotalBytes += moved
+				if f.Remaining <= 1e-6 {
+					f.Remaining = 0
+					f.Done = true
+					f.EndTime = now
+				}
+			}
+		}
+	}
+	rep.Makespan = now
+	for _, cct := range rep.CCTs {
+		rep.AvgCCT += cct
+		if cct > rep.MaxCCT {
+			rep.MaxCCT = cct
+		}
+	}
+	if len(rep.CCTs) > 0 {
+		rep.AvgCCT /= float64(len(rep.CCTs))
+	}
+	return rep, nil
+}
+
+// bottleneck is the coflow's remaining-bytes-over-capacity bound on this
+// topology (the SEBF key).
+func (t *Topology) bottleneck(c *coflow.Coflow) float64 {
+	load := make(map[int]float64)
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		for _, l := range t.Path(f.Src, f.Dst) {
+			load[l] += f.Remaining
+		}
+	}
+	var g float64
+	for l, v := range load {
+		if x := v / t.Links[l].Cap; x > g {
+			g = x
+		}
+	}
+	return g
+}

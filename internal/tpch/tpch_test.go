@@ -1,0 +1,206 @@
+package tpch
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ccf/internal/placement"
+	"ccf/internal/query"
+)
+
+func genTables(t *testing.T, n int, customers int64, seed uint64) *Tables {
+	t.Helper()
+	tb, err := Generate(Config{Nodes: n, Customers: customers, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Nodes: 0, Customers: 10}); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	if _, err := Generate(Config{Nodes: 4, Customers: 0}); err == nil {
+		t.Error("accepted zero customers")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	tb := genTables(t, 4, 50, 1)
+	if tb.Customer.Rows() != 50 {
+		t.Errorf("customers = %d, want 50", tb.Customer.Rows())
+	}
+	if tb.Orders.Rows() != 500 {
+		t.Errorf("orders = %d, want 500 (10 per customer)", tb.Orders.Rows())
+	}
+	li := tb.Lineitem.Rows()
+	if li < 500 || li > 3500 {
+		t.Errorf("lineitems = %d, want 1-7 per order", li)
+	}
+	// Referential integrity and price bounds.
+	orderKeys := map[int64]bool{}
+	for _, f := range tb.Orders.Frags {
+		for _, r := range f {
+			if r.Key < 1 || r.Key > 50 {
+				t.Fatalf("order custkey %d outside customers", r.Key)
+			}
+			orderKeys[r.Value] = true
+		}
+	}
+	for _, f := range tb.Lineitem.Frags {
+		for _, r := range f {
+			if !orderKeys[r.Key] {
+				t.Fatalf("lineitem references unknown order %d", r.Key)
+			}
+			if r.Value <= 0 || r.Value >= Radix {
+				t.Fatalf("price %d outside (0, Radix)", r.Value)
+			}
+		}
+	}
+}
+
+func runQuery(t *testing.T, tb *Tables, plan query.Node, sched placement.Scheduler) *query.Result {
+	t.Helper()
+	exec, err := tb.NewExecutor(query.Config{Nodes: tb.Customer.Nodes(), Scheduler: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRevenuePerCustomerMatchesReference(t *testing.T) {
+	tb := genTables(t, 5, 60, 2)
+	plan := RevenuePerCustomer()
+	res := runQuery(t, tb, plan, placement.CCF{})
+	want, err := tb.Reference(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output.Gather(), query.SortRows(want)) {
+		t.Error("distributed revenue-per-customer differs from reference")
+	}
+	// Every customer has 10 orders with ≥1 lineitem each ⇒ 60 groups.
+	if res.Output.Rows() != 60 {
+		t.Errorf("groups = %d, want 60", res.Output.Rows())
+	}
+	// Manual ground truth: revenue per customer = Σ prices of their orders.
+	truth := map[int64]int64{}
+	custOfOrder := map[int64]int64{}
+	for _, f := range tb.Orders.Frags {
+		for _, r := range f {
+			custOfOrder[r.Value] = r.Key
+		}
+	}
+	for _, f := range tb.Lineitem.Frags {
+		for _, r := range f {
+			truth[custOfOrder[r.Key]] += r.Value
+		}
+	}
+	for _, row := range res.Output.Gather() {
+		if truth[row.Key] != row.Value {
+			t.Fatalf("customer %d revenue = %d, manual truth %d", row.Key, row.Value, truth[row.Key])
+		}
+	}
+}
+
+func TestRevenuePerNationMatchesReference(t *testing.T) {
+	tb := genTables(t, 4, 60, 3)
+	plan := RevenuePerNation()
+	res := runQuery(t, tb, plan, placement.CCF{})
+	want, err := tb.Reference(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output.Gather(), query.SortRows(want)) {
+		t.Error("distributed revenue-per-nation differs from reference")
+	}
+	if res.Output.Rows() > Nations {
+		t.Errorf("nations = %d, want <= %d", res.Output.Rows(), Nations)
+	}
+	// Nation totals must equal customer totals rolled up.
+	perCust := runQuery(t, tb, RevenuePerCustomer(), placement.CCF{})
+	nation := map[int64]int64{}
+	for _, row := range perCust.Output.Gather() {
+		nation[row.Key%Nations] += row.Value
+	}
+	for _, row := range res.Output.Gather() {
+		if nation[row.Key] != row.Value {
+			t.Fatalf("nation %d revenue = %d, rollup says %d", row.Key, row.Value, nation[row.Key])
+		}
+	}
+}
+
+func TestOrdersPerCustomer(t *testing.T) {
+	tb := genTables(t, 3, 40, 4)
+	res := runQuery(t, tb, OrdersPerCustomer(), placement.Hash{})
+	if res.Output.Rows() != 40 {
+		t.Fatalf("groups = %d, want 40", res.Output.Rows())
+	}
+	for _, row := range res.Output.Gather() {
+		if row.Value != 10 {
+			t.Fatalf("customer %d has %d orders, want 10", row.Key, row.Value)
+		}
+	}
+}
+
+func TestDistinctNations(t *testing.T) {
+	tb := genTables(t, 3, 100, 5)
+	res := runQuery(t, tb, DistinctNations(), placement.Mini{})
+	if res.Output.Rows() != Nations {
+		t.Errorf("distinct nations = %d, want %d (100 customers cover all)", res.Output.Rows(), Nations)
+	}
+}
+
+func TestAllQueriesAllSchedulersAgree(t *testing.T) {
+	tb := genTables(t, 4, 30, 6)
+	for _, plan := range []query.Node{
+		RevenuePerCustomer(), RevenuePerNation(), OrdersPerCustomer(), DistinctNations(),
+	} {
+		var first []query.Row
+		for _, s := range []placement.Scheduler{placement.Hash{}, placement.Mini{}, placement.CCF{}} {
+			res := runQuery(t, tb, plan, s)
+			if first == nil {
+				first = res.Output.Gather()
+				continue
+			}
+			if !reflect.DeepEqual(first, res.Output.Gather()) {
+				t.Fatalf("schedulers disagree on %T", plan)
+			}
+		}
+	}
+}
+
+func TestChainJoinStageCount(t *testing.T) {
+	// RevenuePerCustomer has two network stages (join, aggregate);
+	// RevenuePerNation adds a second join and another aggregate.
+	tb := genTables(t, 4, 30, 7)
+	if got := len(runQuery(t, tb, RevenuePerCustomer(), placement.CCF{}).Stages); got != 2 {
+		t.Errorf("revenue-per-customer stages = %d, want 2", got)
+	}
+	if got := len(runQuery(t, tb, RevenuePerNation(), placement.CCF{}).Stages); got != 4 {
+		t.Errorf("revenue-per-nation stages = %d, want 4", got)
+	}
+}
+
+func TestGenerateDeterministicProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, err := Generate(Config{Nodes: 3, Customers: 20, Seed: seed})
+		if err != nil {
+			return false
+		}
+		b, err := Generate(Config{Nodes: 3, Customers: 20, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(a.Lineitem.Gather(), b.Lineitem.Gather())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

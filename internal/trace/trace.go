@@ -1,0 +1,231 @@
+// Package trace reads and writes coflow traces in the CoflowSim "benchmark"
+// format used by the Varys/Aalo artifacts (and therefore by the paper's
+// experimental pipeline, Figure 4): scheduling output is handed to the
+// simulator as a list of jobs with mapper locations and per-reducer shuffle
+// megabytes.
+//
+// Format (whitespace separated, one job per line after the header):
+//
+//	<numRacks> <numJobs>
+//	<jobID> <arrivalMillis> <numMappers> <m_1> ... <m_M> <numReducers> <r_1:MB_1> ... <r_R:MB_R>
+//
+// Mapper/reducer locations are rack (machine) indices in [0, numRacks).
+// Each reducer r_j receives MB_j megabytes split evenly across the mappers,
+// which is exactly how CoflowSim expands a job into flows.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ccf/internal/coflow"
+)
+
+// Job is one coflow in trace form.
+type Job struct {
+	ID            int
+	ArrivalMillis int64
+	Mappers       []int
+	// ReducerMB maps reducer machine → megabytes it must receive.
+	ReducerMB map[int]float64
+}
+
+// Trace is a parsed benchmark file.
+type Trace struct {
+	NumRacks int
+	Jobs     []Job
+}
+
+// Parse reads a benchmark-format trace.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var tokens []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tokens = append(tokens, strings.Fields(line)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	pos := 0
+	next := func() (string, error) {
+		if pos >= len(tokens) {
+			return "", io.ErrUnexpectedEOF
+		}
+		t := tokens[pos]
+		pos++
+		return t, nil
+	}
+	nextInt := func(what string) (int, error) {
+		t, err := next()
+		if err != nil {
+			return 0, fmt.Errorf("trace: missing %s: %w", what, err)
+		}
+		v, err := strconv.Atoi(t)
+		if err != nil {
+			return 0, fmt.Errorf("trace: bad %s %q: %w", what, t, err)
+		}
+		return v, nil
+	}
+
+	racks, err := nextInt("numRacks")
+	if err != nil {
+		return nil, err
+	}
+	numJobs, err := nextInt("numJobs")
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{NumRacks: racks}
+	for j := 0; j < numJobs; j++ {
+		var job Job
+		if job.ID, err = nextInt("jobID"); err != nil {
+			return nil, err
+		}
+		arr, err := nextInt("arrival")
+		if err != nil {
+			return nil, err
+		}
+		job.ArrivalMillis = int64(arr)
+		nm, err := nextInt("numMappers")
+		if err != nil {
+			return nil, err
+		}
+		for m := 0; m < nm; m++ {
+			loc, err := nextInt("mapper location")
+			if err != nil {
+				return nil, err
+			}
+			if loc < 0 || loc >= racks {
+				return nil, fmt.Errorf("trace: job %d mapper at rack %d outside [0,%d)", job.ID, loc, racks)
+			}
+			job.Mappers = append(job.Mappers, loc)
+		}
+		nr, err := nextInt("numReducers")
+		if err != nil {
+			return nil, err
+		}
+		job.ReducerMB = make(map[int]float64, nr)
+		for r := 0; r < nr; r++ {
+			t, err := next()
+			if err != nil {
+				return nil, fmt.Errorf("trace: job %d missing reducer %d: %w", job.ID, r, err)
+			}
+			parts := strings.SplitN(t, ":", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("trace: job %d reducer entry %q not loc:MB", job.ID, t)
+			}
+			loc, err := strconv.Atoi(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("trace: job %d reducer location %q: %w", job.ID, parts[0], err)
+			}
+			if loc < 0 || loc >= racks {
+				return nil, fmt.Errorf("trace: job %d reducer at rack %d outside [0,%d)", job.ID, loc, racks)
+			}
+			mb, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: job %d reducer MB %q: %w", job.ID, parts[1], err)
+			}
+			if mb < 0 {
+				return nil, fmt.Errorf("trace: job %d reducer %d has negative size %g", job.ID, loc, mb)
+			}
+			job.ReducerMB[loc] += mb
+		}
+		tr.Jobs = append(tr.Jobs, job)
+	}
+	if pos != len(tokens) {
+		return nil, fmt.Errorf("trace: %d trailing tokens after %d jobs", len(tokens)-pos, numJobs)
+	}
+	return tr, nil
+}
+
+// Write emits the trace in benchmark format.
+func Write(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", tr.NumRacks, len(tr.Jobs))
+	for _, j := range tr.Jobs {
+		fmt.Fprintf(bw, "%d %d %d", j.ID, j.ArrivalMillis, len(j.Mappers))
+		for _, m := range j.Mappers {
+			fmt.Fprintf(bw, " %d", m)
+		}
+		fmt.Fprintf(bw, " %d", len(j.ReducerMB))
+		locs := make([]int, 0, len(j.ReducerMB))
+		for loc := range j.ReducerMB {
+			locs = append(locs, loc)
+		}
+		sort.Ints(locs)
+		for _, loc := range locs {
+			fmt.Fprintf(bw, " %d:%g", loc, j.ReducerMB[loc])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Coflows expands the trace into simulator coflows the way CoflowSim does:
+// each reducer's megabytes split evenly across the job's mappers, flows from
+// mapper machine to reducer machine, self-loops dropped.
+func (tr *Trace) Coflows() []*coflow.Coflow {
+	out := make([]*coflow.Coflow, 0, len(tr.Jobs))
+	for _, j := range tr.Jobs {
+		c := &coflow.Coflow{ID: j.ID, Name: fmt.Sprintf("job-%d", j.ID), Arrival: float64(j.ArrivalMillis) / 1000}
+		if len(j.Mappers) == 0 {
+			out = append(out, c)
+			continue
+		}
+		locs := make([]int, 0, len(j.ReducerMB))
+		for loc := range j.ReducerMB {
+			locs = append(locs, loc)
+		}
+		sort.Ints(locs)
+		fid := 0
+		for _, rl := range locs {
+			per := j.ReducerMB[rl] * 1e6 / float64(len(j.Mappers))
+			for _, ml := range j.Mappers {
+				if ml == rl || per <= 0 {
+					continue
+				}
+				f := &coflow.Flow{ID: fid, Coflow: c, Src: ml, Dst: rl, Size: per, Remaining: per}
+				c.Flows = append(c.Flows, f)
+				fid++
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// FromVolumes converts an n×n byte-volume matrix into a single-job trace,
+// modelling every source node as a mapper with a dedicated reducer entry —
+// the inverse of Coflows for CCF's shuffle output. Volumes are emitted as
+// one single-mapper job per source so the even-split expansion is lossless.
+func FromVolumes(n int, vol []int64, arrivalMillis int64) (*Trace, error) {
+	if len(vol) != n*n {
+		return nil, fmt.Errorf("trace: volume matrix has %d entries, want %d", len(vol), n*n)
+	}
+	tr := &Trace{NumRacks: n}
+	id := 0
+	for i := 0; i < n; i++ {
+		red := map[int]float64{}
+		for j := 0; j < n; j++ {
+			if i == j || vol[i*n+j] == 0 {
+				continue
+			}
+			red[j] = float64(vol[i*n+j]) / 1e6
+		}
+		if len(red) == 0 {
+			continue
+		}
+		tr.Jobs = append(tr.Jobs, Job{ID: id, ArrivalMillis: arrivalMillis, Mappers: []int{i}, ReducerMB: red})
+		id++
+	}
+	return tr, nil
+}

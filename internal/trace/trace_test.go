@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sample = `
+# two racks... actually four; comments and blank lines are ignored
+
+4 2
+1 0 2 0 1 2 2:10 3:20
+2 500 1 3 1 0:5
+`
+
+func TestParseSample(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRacks != 4 || len(tr.Jobs) != 2 {
+		t.Fatalf("parsed %d racks / %d jobs, want 4/2", tr.NumRacks, len(tr.Jobs))
+	}
+	j := tr.Jobs[0]
+	if j.ID != 1 || j.ArrivalMillis != 0 {
+		t.Errorf("job 0 header = %+v", j)
+	}
+	if len(j.Mappers) != 2 || j.Mappers[0] != 0 || j.Mappers[1] != 1 {
+		t.Errorf("mappers = %v, want [0 1]", j.Mappers)
+	}
+	if j.ReducerMB[2] != 10 || j.ReducerMB[3] != 20 {
+		t.Errorf("reducers = %v", j.ReducerMB)
+	}
+	if tr.Jobs[1].ArrivalMillis != 500 {
+		t.Errorf("job 1 arrival = %d, want 500", tr.Jobs[1].ArrivalMillis)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"missing jobs":      "4",
+		"truncated job":     "4 1\n1 0 2 0",
+		"bad reducer pair":  "4 1\n1 0 1 0 1 nope",
+		"bad reducer loc":   "4 1\n1 0 1 0 1 x:5",
+		"reducer loc range": "4 1\n1 0 1 0 1 9:5",
+		"mapper loc range":  "4 1\n1 0 1 9 1 0:5",
+		"negative size":     "4 1\n1 0 1 0 1 1:-3",
+		"trailing tokens":   "4 1\n1 0 1 0 1 1:5 extra",
+		"non-numeric":       "four 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, in)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		racks := 2 + rng.Intn(6)
+		tr := &Trace{NumRacks: racks}
+		for j := 0; j < rng.Intn(5); j++ {
+			job := Job{ID: j, ArrivalMillis: int64(rng.Intn(10_000)), ReducerMB: map[int]float64{}}
+			for m := 0; m < 1+rng.Intn(4); m++ {
+				job.Mappers = append(job.Mappers, rng.Intn(racks))
+			}
+			for r := 0; r < 1+rng.Intn(4); r++ {
+				job.ReducerMB[rng.Intn(racks)] += float64(1+rng.Intn(100)) / 4
+			}
+			tr.Jobs = append(tr.Jobs, job)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumRacks != tr.NumRacks || len(got.Jobs) != len(tr.Jobs) {
+			return false
+		}
+		for i, j := range tr.Jobs {
+			g := got.Jobs[i]
+			if g.ID != j.ID || g.ArrivalMillis != j.ArrivalMillis || len(g.Mappers) != len(j.Mappers) {
+				return false
+			}
+			for loc, mb := range j.ReducerMB {
+				if math.Abs(g.ReducerMB[loc]-mb) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoflowsExpansion(t *testing.T) {
+	tr := &Trace{NumRacks: 3, Jobs: []Job{{
+		ID: 7, ArrivalMillis: 1500,
+		Mappers:   []int{0, 1},
+		ReducerMB: map[int]float64{2: 10},
+	}}}
+	cfs := tr.Coflows()
+	if len(cfs) != 1 {
+		t.Fatalf("expanded %d coflows, want 1", len(cfs))
+	}
+	c := cfs[0]
+	if c.Arrival != 1.5 {
+		t.Errorf("arrival = %g s, want 1.5", c.Arrival)
+	}
+	if len(c.Flows) != 2 {
+		t.Fatalf("flows = %d, want 2 (10 MB split over 2 mappers)", len(c.Flows))
+	}
+	for _, f := range c.Flows {
+		if f.Dst != 2 {
+			t.Errorf("flow dst = %d, want 2", f.Dst)
+		}
+		if math.Abs(f.Size-5e6) > 1e-6 {
+			t.Errorf("flow size = %g, want 5e6", f.Size)
+		}
+	}
+}
+
+func TestCoflowsDropSelfLoops(t *testing.T) {
+	tr := &Trace{NumRacks: 2, Jobs: []Job{{
+		ID:        0,
+		Mappers:   []int{0},
+		ReducerMB: map[int]float64{0: 10, 1: 10},
+	}}}
+	cfs := tr.Coflows()
+	if len(cfs[0].Flows) != 1 {
+		t.Fatalf("flows = %d, want 1 (mapper-local reducer dropped)", len(cfs[0].Flows))
+	}
+	if cfs[0].Flows[0].Dst != 1 {
+		t.Errorf("surviving flow dst = %d, want 1", cfs[0].Flows[0].Dst)
+	}
+}
+
+func TestFromVolumesRoundTripsThroughCoflows(t *testing.T) {
+	n := 3
+	vol := []int64{
+		0, 2_000_000, 0,
+		0, 0, 3_000_000,
+		1_000_000, 0, 0,
+	}
+	tr, err := FromVolumes(n, vol, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRacks != n {
+		t.Errorf("racks = %d, want %d", tr.NumRacks, n)
+	}
+	got := make([]float64, n*n)
+	for _, c := range tr.Coflows() {
+		if c.Arrival != 0.25 {
+			t.Errorf("arrival = %g, want 0.25", c.Arrival)
+		}
+		for _, f := range c.Flows {
+			got[f.Src*n+f.Dst] += f.Size
+		}
+	}
+	for i := range vol {
+		if math.Abs(got[i]-float64(vol[i])) > 1 {
+			t.Fatalf("volume (%d→%d) = %g, want %d", i/n, i%n, got[i], vol[i])
+		}
+	}
+}
+
+func TestFromVolumesRejectsBadMatrix(t *testing.T) {
+	if _, err := FromVolumes(3, make([]int64, 4), 0); err == nil {
+		t.Error("FromVolumes accepted a 4-entry matrix for n=3")
+	}
+}

@@ -1,0 +1,310 @@
+// Package workload synthesises the paper's evaluation workload: a TPC-H-like
+// CUSTOMER ⋈ ORDERS join on CUSTKEY at scale factor 600 (90 million customer
+// tuples, 900 million order tuples, 1000-byte payloads, ≈ 1 TB input), hash
+// partitioned over n nodes with p partitions.
+//
+// Two levels of fidelity are provided:
+//
+//   - Chunk level (Generate): produces the h_ik chunk matrix directly, which
+//     is all the placement schedulers and the coflow simulator consume. Chunk
+//     sizes within each partition follow a Zipf distribution over the nodes
+//     with rank-aligned ordering (node 0 always holds the largest chunk, as
+//     stated in §IV.B.2 of the paper), and a configurable fraction of the
+//     large relation is re-keyed to CUSTKEY 1 to inject skew.
+//
+//   - Tuple level (package join's generators): materialises actual tuples for
+//     end-to-end join verification at reduced scale.
+//
+// The substitution for TPC-H dbgen is recorded in DESIGN.md §3.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ccf/internal/partition"
+)
+
+// Paper-default workload constants (§IV.A.2 and §IV.A.3).
+const (
+	// DefaultCustomerTuples is |CUSTOMER| at TPC-H SF = 600.
+	DefaultCustomerTuples = 90_000_000
+	// DefaultOrderTuples is |ORDERS| at TPC-H SF = 600.
+	DefaultOrderTuples = 900_000_000
+	// DefaultPayloadBytes is the per-tuple payload the paper fixes.
+	DefaultPayloadBytes = 1000
+	// DefaultPartitionMultiplier: p = 15 × n in every experiment.
+	DefaultPartitionMultiplier = 15
+	// DefaultZipf is the default Zipf factor for chunk sizes over nodes.
+	DefaultZipf = 0.8
+	// DefaultSkew is the default fraction of ORDERS re-keyed to CUSTKEY 1.
+	DefaultSkew = 0.20
+	// SkewKey is the hot key the paper's skew injection targets.
+	SkewKey = 1
+)
+
+// Config describes one workload instance.
+type Config struct {
+	Nodes          int     // n
+	Partitions     int     // p; if 0, DefaultPartitionMultiplier × Nodes
+	CustomerTuples int64   // |CUSTOMER|; if 0, DefaultCustomerTuples
+	OrderTuples    int64   // |ORDERS|; if 0, DefaultOrderTuples
+	PayloadBytes   int64   // bytes per tuple; if 0, DefaultPayloadBytes
+	Zipf           float64 // Zipf factor θ ∈ [0, ∞); 0 = uniform
+	Skew           float64 // fraction of ORDERS tuples re-keyed to SkewKey, ∈ [0, 1)
+	// ShuffleRanks breaks the paper's rank alignment: instead of node 0
+	// always holding the largest chunk of every partition, the Zipf rank
+	// order is rotated per partition. Used by the abl-rank ablation.
+	ShuffleRanks bool
+	// Seed perturbs the deterministic jitter applied to chunk sizes so that
+	// repeated runs can exercise different tie-breaks. Zero is a valid seed.
+	Seed uint64
+	// JitterFrac adds ±JitterFrac relative noise to each chunk so chunk
+	// sizes are not perfectly proportional across partitions. Defaults to 0
+	// (exact proportions), which matches the closed-form analysis in
+	// EXPERIMENTS.md; the figure runs use a small jitter.
+	JitterFrac float64
+}
+
+// withDefaults returns a copy with zero fields replaced by paper defaults.
+func (c Config) withDefaults() (Config, error) {
+	if c.Nodes <= 0 {
+		return c, fmt.Errorf("workload: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.Partitions == 0 {
+		c.Partitions = DefaultPartitionMultiplier * c.Nodes
+	}
+	if c.Partitions < c.Nodes {
+		return c, fmt.Errorf("workload: Partitions (%d) must be >= Nodes (%d)", c.Partitions, c.Nodes)
+	}
+	if c.CustomerTuples == 0 {
+		c.CustomerTuples = DefaultCustomerTuples
+	}
+	if c.OrderTuples == 0 {
+		c.OrderTuples = DefaultOrderTuples
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = DefaultPayloadBytes
+	}
+	if c.Zipf < 0 {
+		return c, fmt.Errorf("workload: Zipf must be non-negative, got %g", c.Zipf)
+	}
+	if c.Skew < 0 || c.Skew >= 1 {
+		return c, fmt.Errorf("workload: Skew must be in [0,1), got %g", c.Skew)
+	}
+	return c, nil
+}
+
+// Workload is a generated instance: the chunk matrix of non-skewed data, the
+// extra bytes of the hot key per node, and bookkeeping needed by the skew
+// handler and the experiment harness.
+type Workload struct {
+	Config Config
+	// Chunks is h_ik for all data including skewed bytes (what a
+	// skew-oblivious scheduler like Hash sees).
+	Chunks *partition.ChunkMatrix
+	// SkewPartition is the partition the hot key hashes to (-1 if skew=0).
+	SkewPartition int
+	// SkewBytesPerNode[i] is the bytes of hot-key ORDERS tuples resident on
+	// node i (contained within Chunks at SkewPartition).
+	SkewBytesPerNode []int64
+	// SkewOwner is the node holding the CUSTOMER tuple for the hot key: the
+	// source of the partial-duplication broadcast.
+	SkewOwner int
+	// BroadcastBytes is the size of the small-relation tuples that partial
+	// duplication replicates to every other node (per destination).
+	BroadcastBytes int64
+}
+
+// TotalBytes returns the total input size in bytes.
+func (w *Workload) TotalBytes() int64 { return w.Chunks.TotalBytes() }
+
+// zipfWeights returns normalised Zipf weights w_r = r^-θ / Σ r^-θ for ranks
+// 1..n. θ = 0 yields the uniform distribution.
+func zipfWeights(n int, theta float64) []float64 {
+	w := make([]float64, n)
+	var z float64
+	for r := 0; r < n; r++ {
+		w[r] = math.Pow(float64(r+1), -theta)
+		z += w[r]
+	}
+	for r := range w {
+		w[r] /= z
+	}
+	return w
+}
+
+// splitmix64 is a tiny deterministic PRNG step used for jitter so the
+// generator does not depend on math/rand ordering guarantees.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitUniform maps a 64-bit hash to [0, 1).
+func unitUniform(x uint64) float64 {
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Generate builds a workload instance per the paper's §IV.A recipe:
+//
+//  1. Total bytes = (|C| + |O|) × payload, split evenly over p partitions
+//     (uniform custkeys ⇒ near-identical partition totals).
+//  2. Within each partition, chunk sizes over the n nodes follow Zipf(θ)
+//     with aligned ranks (node 0 largest) unless ShuffleRanks is set.
+//  3. skew × |O| tuples are re-keyed to CUSTKEY 1; their bytes concentrate
+//     in the hot key's partition, distributed over nodes proportionally to
+//     the Zipf weights (the paper picks the re-keyed tuples uniformly at
+//     random, so they sit where the data sits).
+func Generate(cfg Config) (*Workload, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n, p := cfg.Nodes, cfg.Partitions
+	m := partition.NewChunkMatrix(n, p)
+
+	totalTuples := cfg.CustomerTuples + cfg.OrderTuples
+	skewOrderTuples := int64(cfg.Skew * float64(cfg.OrderTuples))
+	normalTuples := totalTuples - skewOrderTuples
+	normalBytes := normalTuples * cfg.PayloadBytes
+	skewBytes := skewOrderTuples * cfg.PayloadBytes
+
+	weights := zipfWeights(n, cfg.Zipf)
+
+	// Spread the non-skewed bytes: partition totals are equal up to
+	// integer remainders; within a partition, node shares follow the
+	// (possibly rotated) Zipf weights with optional jitter. Partitions
+	// write disjoint matrix columns, so they fill in parallel; the jitter
+	// is hashed per (node, partition), keeping the result deterministic
+	// regardless of worker count.
+	perPartition := normalBytes / int64(p)
+	remainder := normalBytes % int64(p)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p {
+		workers = p
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := p * w / workers
+		hi := p * (w + 1) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				tot := perPartition
+				if int64(k) < remainder {
+					tot++
+				}
+				assignPartition(m, k, tot, weights, cfg)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	w := &Workload{
+		Config:           cfg,
+		Chunks:           m,
+		SkewPartition:    -1,
+		SkewBytesPerNode: make([]int64, n),
+	}
+
+	if skewOrderTuples > 0 {
+		part := partition.ModPartitioner{NumPartitions: p}
+		ks := part.Partition(SkewKey)
+		w.SkewPartition = ks
+		// Distribute hot-key bytes over nodes by the same weights, since
+		// the re-keyed tuples are sampled uniformly from the relation.
+		var assigned int64
+		for i := 0; i < n; i++ {
+			b := int64(weights[rankOf(i, ks, cfg)] * float64(skewBytes))
+			w.SkewBytesPerNode[i] = b
+			assigned += b
+		}
+		// Put rounding remainder on the largest-share node.
+		w.SkewBytesPerNode[largestIdx(w.SkewBytesPerNode)] += skewBytes - assigned
+		for i := 0; i < n; i++ {
+			m.Add(i, ks, w.SkewBytesPerNode[i])
+		}
+		// The CUSTOMER side of the hot key is a single tuple; it lives on
+		// the node owning the largest chunk of the hot partition (where a
+		// locality-aware loader would have put it — any single node works,
+		// the broadcast volume is what matters).
+		w.SkewOwner = largestIdx(w.SkewBytesPerNode)
+		w.BroadcastBytes = cfg.PayloadBytes
+	}
+	return w, nil
+}
+
+// assignPartition splits tot bytes of partition k over the nodes.
+func assignPartition(m *partition.ChunkMatrix, k int, tot int64, weights []float64, cfg Config) {
+	n := len(weights)
+	var sum int64
+	maxI := 0
+	var maxV int64 = -1
+	for i := 0; i < n; i++ {
+		f := weights[rankOf(i, k, cfg)]
+		if cfg.JitterFrac > 0 {
+			h := splitmix64(cfg.Seed ^ uint64(k)*0x9E3779B97F4A7C15 ^ uint64(i)<<32)
+			f *= 1 + cfg.JitterFrac*(2*unitUniform(h)-1)
+		}
+		v := int64(f * float64(tot))
+		m.Set(i, k, v)
+		sum += v
+		if v > maxV {
+			maxV = v
+			maxI = i
+		}
+	}
+	// Rounding remainder goes to the largest chunk, preserving the argmax.
+	// With jitter the shares need not sum to 1, so the remainder can be
+	// negative; drain it from the largest chunks without going below zero.
+	rem := tot - sum
+	if rem >= -maxV {
+		m.Add(maxI, k, rem)
+		return
+	}
+	for rem < 0 {
+		big, bigV := 0, int64(-1)
+		for i := 0; i < n; i++ {
+			if v := m.At(i, k); v > bigV {
+				big, bigV = i, v
+			}
+		}
+		take := -rem
+		if take > bigV {
+			take = bigV
+		}
+		if take == 0 {
+			break // tot was 0; nothing to drain
+		}
+		m.Add(big, k, -take)
+		rem += take
+	}
+}
+
+// rankOf returns the Zipf rank of node i for partition k: identity when
+// ranks are aligned (paper default), rotated by a per-partition offset when
+// ShuffleRanks is set.
+func rankOf(i, k int, cfg Config) int {
+	if !cfg.ShuffleRanks {
+		return i
+	}
+	n := cfg.Nodes
+	off := int(splitmix64(cfg.Seed^uint64(k)) % uint64(n))
+	return (i + off) % n
+}
+
+func largestIdx(v []int64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
