@@ -103,6 +103,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkMotivatingExample regenerates Figures 1 and 2: traffic 8/7/6 for
 // SP0/SP1/SP2 and CCTs 6 (worst), 4 (SP2 optimal), 3 (SP1/CCF).
 func BenchmarkMotivatingExample(b *testing.B) {
+	b.ReportAllocs()
 	var res *core.MotivatingResult
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -121,12 +122,14 @@ func BenchmarkMotivatingExample(b *testing.B) {
 // BenchmarkAblationRank: aligned vs shuffled zipf ranks (abl-rank). Mini's
 // collapse into node 0 requires the paper's rank alignment.
 func BenchmarkAblationRank(b *testing.B) {
+	b.ReportAllocs()
 	for _, shuffle := range []bool{false, true} {
 		name := "aligned"
 		if shuffle {
 			name = "shuffled"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var fr *core.FigureResult
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -145,8 +148,10 @@ func BenchmarkAblationRank(b *testing.B) {
 
 // BenchmarkAblationPmult: partition granularity p = m×n (abl-pmult).
 func BenchmarkAblationPmult(b *testing.B) {
+	b.ReportAllocs()
 	for _, mult := range []int{5, 15, 30} {
 		b.Run(fmt.Sprintf("p=%dn", mult), func(b *testing.B) {
+			b.ReportAllocs()
 			var fr *core.FigureResult
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -164,6 +169,7 @@ func BenchmarkAblationPmult(b *testing.B) {
 // BenchmarkAblationSort: Algorithm 1 with and without its descending sort
 // (abl-sort).
 func BenchmarkAblationSort(b *testing.B) {
+	b.ReportAllocs()
 	w, err := workload.Generate(workload.Config{
 		Nodes: 500, Zipf: 0.8, Skew: 0.2,
 		CustomerTuples: int64(benchScale * workload.DefaultCustomerTuples),
@@ -174,6 +180,7 @@ func BenchmarkAblationSort(b *testing.B) {
 	}
 	for _, s := range []placement.Scheduler{placement.CCF{}, placement.CCF{NoSort: true}} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var r *core.Result
 			for i := 0; i < b.N; i++ {
 				r, err = core.RunScheduler(w, s, true, core.Options{})
@@ -189,6 +196,7 @@ func BenchmarkAblationSort(b *testing.B) {
 // BenchmarkHeuristicVsExact: the abl-exact gap measurement — CCF heuristic
 // against the certified branch-and-bound optimum on small instances.
 func BenchmarkHeuristicVsExact(b *testing.B) {
+	b.ReportAllocs()
 	w, err := workload.Generate(workload.Config{
 		Nodes: 5, Partitions: 12, CustomerTuples: 500, OrderTuples: 5000,
 		PayloadBytes: 100, Zipf: 0.8, Skew: 0.2, JitterFrac: 0.05, Seed: 1,
@@ -217,6 +225,7 @@ func BenchmarkHeuristicVsExact(b *testing.B) {
 // BenchmarkAblationCoflowSchedulers compares the network-level schedulers on
 // a fixed online workload (abl-sched): the substrate half of the eval.
 func BenchmarkAblationCoflowSchedulers(b *testing.B) {
+	b.ReportAllocs()
 	const n = 16
 	mk := func() []*coflow.Coflow {
 		rng := rand.New(rand.NewSource(42))
@@ -241,6 +250,7 @@ func BenchmarkAblationCoflowSchedulers(b *testing.B) {
 		coflow.NewVarys(), coflow.NewAalo(), coflow.NewFIFO(), coflow.PerFlowFair{},
 	} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var rep *netsim.Report
 			for i := 0; i < b.N; i++ {
 				rep, err = netsim.NewSimulator(fabric, s).Run(mk())
@@ -271,9 +281,11 @@ func benchWorkload(b *testing.B, n int) *workload.Workload {
 // BenchmarkPlacement measures the application-level schedulers at the
 // paper's default 500-node, 7500-partition shape.
 func BenchmarkPlacement(b *testing.B) {
+	b.ReportAllocs()
 	w := benchWorkload(b, 500)
 	for _, s := range []placement.Scheduler{placement.Hash{}, placement.Mini{}, placement.CCF{}, placement.LPT{}} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Place(w.Chunks, nil); err != nil {
 					b.Fatal(err)
@@ -286,9 +298,11 @@ func BenchmarkPlacement(b *testing.B) {
 // BenchmarkCCFScaling measures Algorithm 1's O(p·n) cost across cluster
 // sizes (the reason the paper abandons the half-hour Gurobi solve).
 func BenchmarkCCFScaling(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{100, 500, 1000} {
 		w := benchWorkload(b, n)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := (placement.CCF{}).Place(w.Chunks, nil); err != nil {
 					b.Fatal(err)
@@ -300,16 +314,21 @@ func BenchmarkCCFScaling(b *testing.B) {
 
 // BenchmarkWorkloadGenerate measures the synthetic TPC-H generator.
 func BenchmarkWorkloadGenerate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchWorkload(b, 500)
 	}
 }
 
 // BenchmarkEventSim measures the flow-level simulator on a single all-to-all
-// coflow (n² − n flows).
+// coflow (n² − n flows) on the steady-state path: construction is hoisted,
+// the Simulator and Report are reused via RunInto, so the op is purely the
+// event loop — 0 allocs/op by design (see internal/netsim/alloc_bench_test.go
+// for the per-scheduler variants).
 func BenchmarkEventSim(b *testing.B) {
 	for _, n := range []int{16, 64} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			vol := make([]int64, n*n)
 			for i := 0; i < n; i++ {
 				for j := 0; j < n; j++ {
@@ -322,15 +341,26 @@ func BenchmarkEventSim(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			cf, err := coflow.FromVolumes(0, "bench", 0, n, vol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfs := []*coflow.Coflow{cf}
+			sim := netsim.NewSimulator(fabric, coflow.NewVarys())
+			var rep netsim.Report
+			if err := sim.RunInto(cfs, &rep); err != nil { // warm the scratch
+				b.Fatal(err)
+			}
+			epochs := rep.Epochs
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cf, err := coflow.FromVolumes(0, "bench", 0, n, vol)
-				if err != nil {
+				if err := sim.RunInto(cfs, &rep); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := netsim.NewSimulator(fabric, coflow.NewVarys()).Run([]*coflow.Coflow{cf}); err != nil {
-					b.Fatal(err)
-				}
+			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(epochs)*float64(b.N)/b.Elapsed().Seconds(), "epochs/s")
 			}
 		})
 	}
@@ -338,6 +368,7 @@ func BenchmarkEventSim(b *testing.B) {
 
 // BenchmarkDistributedJoin measures the tuple-level engine end to end.
 func BenchmarkDistributedJoin(b *testing.B) {
+	b.ReportAllocs()
 	cust, ords := join.GenerateRelations(join.GenConfig{
 		Customers: 10_000, OrdersPerCust: 10, PayloadBytes: 100, SkewFrac: 0.2, Seed: 1,
 	})
@@ -357,6 +388,7 @@ func BenchmarkDistributedJoin(b *testing.B) {
 
 // BenchmarkMILP measures the exact solver on a certifiable instance.
 func BenchmarkMILP(b *testing.B) {
+	b.ReportAllocs()
 	w, err := workload.Generate(workload.Config{
 		Nodes: 4, Partitions: 12, CustomerTuples: 400, OrderTuples: 4000,
 		PayloadBytes: 100, Zipf: 0.8, Skew: 0.2, JitterFrac: 0.05, Seed: 3,
@@ -380,6 +412,7 @@ func BenchmarkMILP(b *testing.B) {
 // BenchmarkAblationHetero: capacity-aware placement on a fabric with one
 // degraded ingress link (the R_l generalization of constraint 1.5).
 func BenchmarkAblationHetero(b *testing.B) {
+	b.ReportAllocs()
 	const n = 100
 	w := benchWorkload(b, n)
 	eg := make([]float64, n)
@@ -390,6 +423,7 @@ func BenchmarkAblationHetero(b *testing.B) {
 	in[0] = netsim.DefaultPortBandwidth / 8
 	for _, s := range []placement.Scheduler{placement.CCF{}, placement.WeightedCCF{EgressCap: eg, IngressCap: in}} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var t float64
 			for i := 0; i < b.N; i++ {
 				pl, err := s.Place(w.Chunks, nil)
@@ -413,6 +447,7 @@ func BenchmarkAblationHetero(b *testing.B) {
 // BenchmarkAblationTopology: rack-aware CCF vs plain CCF on a 4x
 // oversubscribed leaf-spine (the L_ij link-set generalization).
 func BenchmarkAblationTopology(b *testing.B) {
+	b.ReportAllocs()
 	topo, err := topology.NewLeafSpine(8, 16, netsim.DefaultPortBandwidth, 4*netsim.DefaultPortBandwidth)
 	if err != nil {
 		b.Fatal(err)
@@ -420,6 +455,7 @@ func BenchmarkAblationTopology(b *testing.B) {
 	w := benchWorkload(b, topo.N)
 	for _, s := range []placement.Scheduler{placement.CCF{}, topology.RackAwareCCF{Topo: topo}} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var cct float64
 			for i := 0; i < b.N; i++ {
 				pl, err := s.Place(w.Chunks, nil)
@@ -439,6 +475,7 @@ func BenchmarkAblationTopology(b *testing.B) {
 // BenchmarkQueryPipeline: the three-operator analytical job (join →
 // re-keyed aggregate → distinct) end to end per placement scheduler.
 func BenchmarkQueryPipeline(b *testing.B) {
+	b.ReportAllocs()
 	const n = 16
 	mkTables := func() (*query.Table, *query.Table) {
 		rng := rand.New(rand.NewSource(1))
@@ -463,6 +500,7 @@ func BenchmarkQueryPipeline(b *testing.B) {
 	}}
 	for _, s := range []placement.Scheduler{placement.Hash{}, placement.CCF{}} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var tt float64
 			for i := 0; i < b.N; i++ {
 				l, r := mkTables()
@@ -484,8 +522,10 @@ func BenchmarkQueryPipeline(b *testing.B) {
 // BenchmarkFBTraceOnline: the coflow schedulers on a Facebook-like online
 // workload (the substrate half of the paper's pipeline at trace scale).
 func BenchmarkFBTraceOnline(b *testing.B) {
+	b.ReportAllocs()
 	for _, s := range []coflow.Scheduler{coflow.NewVarys(), coflow.NewAalo(), coflow.PerFlowFair{}} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var avg float64
 			for i := 0; i < b.N; i++ {
 				cfs, err := fbtrace.Generate(fbtrace.Config{Machines: 32, Coflows: 100, Seed: 5})
@@ -510,11 +550,13 @@ func BenchmarkFBTraceOnline(b *testing.B) {
 // BenchmarkPerKeyPlacement: track-join-granularity placement (footnote 6):
 // one micro-partition per distinct key.
 func BenchmarkPerKeyPlacement(b *testing.B) {
+	b.ReportAllocs()
 	cust, ords := join.GenerateRelations(join.GenConfig{
 		Customers: 5_000, OrdersPerCust: 10, PayloadBytes: 100, Seed: 2,
 	})
 	for _, s := range []placement.Scheduler{placement.Mini{}, placement.CCF{}} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cl, _, err := trackjoin.BuildCluster(16, cust, ords, join.ZipfPlacer(16, 0.8, 3))
 				if err != nil {
@@ -531,9 +573,11 @@ func BenchmarkPerKeyPlacement(b *testing.B) {
 // BenchmarkRefinement: Algorithm 1 alone vs with local-search refinement at
 // the paper's 500-node shape.
 func BenchmarkRefinement(b *testing.B) {
+	b.ReportAllocs()
 	w := benchWorkload(b, 500)
 	for _, s := range []placement.Scheduler{placement.CCF{}, placement.CCFRefined{}} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var t int64
 			for i := 0; i < b.N; i++ {
 				ev, err := placement.Evaluate(s, w.Chunks, nil)
@@ -550,6 +594,7 @@ func BenchmarkRefinement(b *testing.B) {
 // BenchmarkLowerBound: the relaxation bound at the paper's full shape — the
 // certification that replaces Gurobi's optimality evidence.
 func BenchmarkLowerBound(b *testing.B) {
+	b.ReportAllocs()
 	w := benchWorkload(b, 500)
 	ev, err := placement.Evaluate(placement.CCF{}, w.Chunks, nil)
 	if err != nil {
@@ -569,6 +614,7 @@ func BenchmarkLowerBound(b *testing.B) {
 // BenchmarkOnlineCoOptimization: backlog-aware vs oblivious placement for a
 // job arriving while another floods the fabric (abl-online).
 func BenchmarkOnlineCoOptimization(b *testing.B) {
+	b.ReportAllocs()
 	mkJobs := func() []core.OnlineJob {
 		first, err := workload.Generate(workload.Config{
 			Nodes: 16, CustomerTuples: 20_000, OrderTuples: 200_000, PayloadBytes: 1000, Zipf: 1.0,
@@ -593,6 +639,7 @@ func BenchmarkOnlineCoOptimization(b *testing.B) {
 			name = "co-optimized"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var avg float64
 			for i := 0; i < b.N; i++ {
 				rep, err := core.RunOnline(mkJobs(), core.OnlineOptions{CoOptimize: coopt})
@@ -609,12 +656,14 @@ func BenchmarkOnlineCoOptimization(b *testing.B) {
 // BenchmarkTPCHQueries: the three-table chain-join analytics per placement
 // scheduler (extension #27).
 func BenchmarkTPCHQueries(b *testing.B) {
+	b.ReportAllocs()
 	tables, err := tpch.Generate(tpch.Config{Nodes: 12, Customers: 2_000, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, s := range []placement.Scheduler{placement.Hash{}, placement.CCF{}} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var tt float64
 			for i := 0; i < b.N; i++ {
 				exec, err := tables.NewExecutor(query.Config{Nodes: 12, Scheduler: s})

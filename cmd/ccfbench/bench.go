@@ -1,0 +1,104 @@
+package main
+
+// netsim-bench: machine-readable perf tracking for the simulator hot path.
+// Runs the steady-state netsim benchmarks in-process via testing.Benchmark
+// and writes BENCH_netsim.json (ns/op, allocs/op, epochs/s) so the perf
+// trajectory is comparable across PRs without parsing `go test -bench` text.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"ccf/internal/coflow"
+	"ccf/internal/netsim"
+)
+
+type benchResult struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EpochsPerRun int     `json:"epochs_per_run"`
+	EpochsPerSec float64 `json:"epochs_per_sec"`
+}
+
+// benchCoflows mirrors the staggered-arrival workload of the netsim
+// steady-state benchmarks: ncf coflows of n/2 flows each, arriving 0.25 s
+// apart, so the scheduler sees admissions, completions, and re-sorts.
+func benchCoflows(n, ncf int) []*coflow.Coflow {
+	out := make([]*coflow.Coflow, 0, ncf)
+	for ci := 0; ci < ncf; ci++ {
+		var flows []coflow.Flow
+		for f := 0; f < n/2; f++ {
+			src := (ci + f) % n
+			dst := (src + 1 + f%(n-1)) % n
+			flows = append(flows, coflow.Flow{ID: f, Src: src, Dst: dst, Size: float64(1+(ci+f)%9) * 1e6})
+		}
+		out = append(out, coflow.New(ci, "bench", float64(ci)/4, flows))
+	}
+	return out
+}
+
+func netsimBench(path string) error {
+	scheds := []struct {
+		name string
+		mk   func() coflow.Scheduler
+	}{
+		{"varys", coflow.NewVarys},
+		{"aalo", func() coflow.Scheduler { return coflow.NewAalo() }},
+		{"fifo", coflow.NewFIFO},
+		{"per-flow-fair", func() coflow.Scheduler { return coflow.PerFlowFair{} }},
+	}
+	var results []benchResult
+	for _, sc := range scheds {
+		for _, n := range []int{16, 64} {
+			cfs := benchCoflows(n, 24)
+			fab, err := netsim.NewFabric(n, 0)
+			if err != nil {
+				return err
+			}
+			sim := netsim.NewSimulator(fab, sc.mk())
+			var rep netsim.Report
+			if err := sim.RunInto(cfs, &rep); err != nil { // warm the scratch
+				return err
+			}
+			epochs := rep.Epochs
+			var runErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := sim.RunInto(cfs, &rep); err != nil {
+						runErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if runErr != nil {
+				return runErr
+			}
+			nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+			res := benchResult{
+				Name:         fmt.Sprintf("SteadyStateRun/%s/n=%d", sc.name, n),
+				NsPerOp:      nsOp,
+				AllocsPerOp:  r.AllocsPerOp(),
+				BytesPerOp:   r.AllocedBytesPerOp(),
+				EpochsPerRun: epochs,
+				EpochsPerSec: float64(epochs) * 1e9 / nsOp,
+			}
+			results = append(results, res)
+			fmt.Printf("  %-32s %12.0f ns/op  %6d allocs/op  %12.0f epochs/s\n",
+				res.Name, res.NsPerOp, res.AllocsPerOp, res.EpochsPerSec)
+		}
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", path)
+	return nil
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"ccf/internal/bound"
 	"ccf/internal/core"
@@ -34,15 +36,46 @@ func main() {
 	var (
 		exp = flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, motivating, "+
 			"ablation-rank, ablation-pmult, ablation-sort, ablation-exact, "+
-			"ablation-hetero, ablation-topo, ablation-bound")
-		scale     = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper's ≈1 TB)")
-		bandwidth = flag.Float64("bw", 0, "port bandwidth in bytes/sec (0 = CoflowSim default 128 MB/s)")
-		csvDir    = flag.String("csv", "", "directory to write per-panel CSV files (empty = none)")
-		eventSim  = flag.Bool("eventsim", false, "use the flow-level event simulator instead of the closed form (slow at full node counts)")
-		chart     = flag.Bool("chart", false, "also render each figure panel as an ASCII chart (time panels on a log scale)")
+			"ablation-hetero, ablation-topo, ablation-bound, netsim-bench")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper's ≈1 TB)")
+		bandwidth  = flag.Float64("bw", 0, "port bandwidth in bytes/sec (0 = CoflowSim default 128 MB/s)")
+		csvDir     = flag.String("csv", "", "directory to write per-panel CSV files (empty = none)")
+		eventSim   = flag.Bool("eventsim", false, "use the flow-level event simulator instead of the closed form (slow at full node counts)")
+		chart      = flag.Bool("chart", false, "also render each figure panel as an ASCII chart (time panels on a log scale)")
+		benchJSON  = flag.String("benchjson", "BENCH_netsim.json", "output path for the netsim-bench experiment's JSON")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
 	chartPanels = *chart
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ccfbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ccfbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	opts := core.SweepOptions{Scale: *scale, Bandwidth: *bandwidth, UseEventSim: *eventSim}
 	run := func(name string, fn func() error) {
@@ -84,6 +117,14 @@ func main() {
 	run("ablation-hetero", func() error { return ablationHetero(opts) })
 	run("ablation-topo", func() error { return ablationTopo(opts) })
 	run("ablation-bound", func() error { return ablationBound(opts) })
+	// netsim-bench is opt-in only (it is a perf meter, not a paper figure).
+	if *exp == "netsim-bench" {
+		fmt.Println("netsim steady-state benchmarks (simulator hot path):")
+		if err := netsimBench(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: netsim-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // chartPanels toggles ASCII charts next to the numeric tables.

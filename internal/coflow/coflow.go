@@ -8,12 +8,20 @@
 // Varys: each of the n machines has one ingress and one egress port of equal
 // capacity, and contention happens only at ports. Schedulers assign rates;
 // the event engine in internal/netsim advances time between completions.
+//
+// The scheduling epoch is the hottest path in the repository (every figure
+// of the paper is millions of epochs), so the schedulers are allocation-free
+// at steady state: dense per-port scratch buffers instead of per-epoch maps
+// (see allocScratch), per-coflow live-flow caches maintained incrementally
+// as flows complete (see Coflow.BeginSim), and persistent priority orders
+// that are only re-sorted when membership or keys change. The pre-optimized
+// implementation is retained in internal/refsim and the two are pinned
+// bit-identical by the equivalence tests in internal/netsim.
 package coflow
 
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Flow is one point-to-point transfer within a coflow, the 3-tuple
@@ -50,6 +58,128 @@ type Coflow struct {
 	// Completion is the CCT end time (valid once Completed).
 	Completion float64
 	Completed  bool
+
+	// sim is the live-flow cache maintained by the event engine between
+	// BeginSim and the end of a run; see BeginSim for the contract.
+	sim simCache
+	// schedKey is the current priority key (Γ for SEBF, remaining bytes
+	// for SCF, queue index for Aalo, ...). It is owned by whichever
+	// scheduler is driving this coflow; schedulers must not interleave
+	// Allocate calls over the same coflows.
+	schedKey float64
+}
+
+// simCache caches which flows of a coflow are still moving bytes and which
+// ports they touch, so schedulers don't rescan (and the old map-based paths
+// don't re-hash) the full flow list every epoch. egPorts/inPorts hold
+// exactly the ports with at least one live flow — the key sets of the demand
+// maps this replaced — and egCnt/inCnt the per-port live-flow counts that
+// make completion updates O(1) per flow.
+type simCache struct {
+	valid            bool
+	live             []*Flow // non-done flows, preserving Flows order
+	egPorts, inPorts []int   // ports with ≥1 live flow (unordered)
+	egCnt, inCnt     []int   // per-port live-flow counts, len ≥ fabric ports
+}
+
+// BeginSim (re)builds the live-flow cache for a simulation over a fabric of
+// the given port count. The event engine calls it once per run after
+// resetting flow state; from then on the cache is kept consistent by calling
+// RefreshSim after marking flows Done. Code that flips Flow.Done by hand
+// without RefreshSim invalidates the cache — the schedulers fall back to
+// scanning Flows only for coflows that never entered a simulation.
+func (c *Coflow) BeginSim(ports int) {
+	c.sim.valid = true
+	c.sim.live = c.sim.live[:0]
+	c.sim.egPorts = c.sim.egPorts[:0]
+	c.sim.inPorts = c.sim.inPorts[:0]
+	if len(c.sim.egCnt) < ports {
+		c.sim.egCnt = make([]int, ports)
+		c.sim.inCnt = make([]int, ports)
+	} else {
+		for i := range c.sim.egCnt {
+			c.sim.egCnt[i] = 0
+			c.sim.inCnt[i] = 0
+		}
+	}
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		c.sim.live = append(c.sim.live, f)
+		if c.sim.egCnt[f.Src] == 0 {
+			c.sim.egPorts = append(c.sim.egPorts, f.Src)
+		}
+		c.sim.egCnt[f.Src]++
+		if c.sim.inCnt[f.Dst] == 0 {
+			c.sim.inPorts = append(c.sim.inPorts, f.Dst)
+		}
+		c.sim.inCnt[f.Dst]++
+	}
+}
+
+// RefreshSim drops flows that completed since the last refresh from the
+// live-flow cache, updating the per-port counts and port sets incrementally.
+// Batched by design: the engine calls it once per coflow per epoch (only for
+// coflows that had completions), so a burst of simultaneous completions
+// costs one compaction pass, not one per flow.
+func (c *Coflow) RefreshSim() {
+	if !c.sim.valid {
+		return
+	}
+	w := 0
+	for _, f := range c.sim.live {
+		if !f.Done {
+			c.sim.live[w] = f
+			w++
+			continue
+		}
+		c.sim.egCnt[f.Src]--
+		if c.sim.egCnt[f.Src] == 0 {
+			c.sim.egPorts = removePort(c.sim.egPorts, f.Src)
+		}
+		c.sim.inCnt[f.Dst]--
+		if c.sim.inCnt[f.Dst] == 0 {
+			c.sim.inPorts = removePort(c.sim.inPorts, f.Dst)
+		}
+	}
+	c.sim.live = c.sim.live[:w]
+}
+
+// removePort swap-removes p from the port set. Port-set order never affects
+// results (it feeds max/min reductions and existence checks only).
+func removePort(ports []int, p int) []int {
+	for i, q := range ports {
+		if q == p {
+			ports[i] = ports[len(ports)-1]
+			return ports[:len(ports)-1]
+		}
+	}
+	return ports
+}
+
+// LiveFlows returns the cached non-done flows in Flows order, or nil when no
+// simulation cache is active. The returned slice is owned by the coflow:
+// read-only, and invalidated by the next RefreshSim.
+func (c *Coflow) LiveFlows() []*Flow {
+	if !c.sim.valid {
+		return nil
+	}
+	return c.sim.live
+}
+
+// Finished reports whether every flow of the coflow is done. O(1) under an
+// active simulation cache, O(flows) otherwise.
+func (c *Coflow) Finished() bool {
+	if c.sim.valid {
+		return len(c.sim.live) == 0
+	}
+	for _, f := range c.Flows {
+		if !f.Done {
+			return false
+		}
+	}
+	return true
 }
 
 // New builds a coflow from flow volumes. Zero-size flows are dropped.
@@ -137,6 +267,74 @@ func (c *Coflow) Bottleneck(n int) float64 {
 	return g
 }
 
+// bottleneckScratch computes the same Γ as Bottleneck without allocating:
+// per-port sums accumulate in dense scratch (in the same flow order, so the
+// floats round identically) and the max over final per-port sums equals the
+// running max over prefix sums because remaining bytes are non-negative.
+func (c *Coflow) bottleneckScratch(s *allocScratch) float64 {
+	flows, egPorts, inPorts := c.demandInto(s)
+	_ = flows
+	var g float64
+	for _, p := range egPorts {
+		if s.egNeed[p] > g {
+			g = s.egNeed[p]
+		}
+	}
+	for _, p := range inPorts {
+		if s.inNeed[p] > g {
+			g = s.inNeed[p]
+		}
+	}
+	clearDemand(s, egPorts, inPorts)
+	return g
+}
+
+// demandInto accumulates the coflow's per-port remaining-byte demand into
+// the dense scratch buffers and returns the live flows plus the touched port
+// sets. With an active sim cache the port sets come straight from the cache
+// (exactly the key sets the old demand maps had); otherwise they are
+// discovered with the scratch counters. Callers must clearDemand the
+// returned port sets before the scratch is used again.
+func (c *Coflow) demandInto(s *allocScratch) (flows []*Flow, egPorts, inPorts []int) {
+	if c.sim.valid {
+		for _, f := range c.sim.live {
+			s.egNeed[f.Src] += f.Remaining
+			s.inNeed[f.Dst] += f.Remaining
+		}
+		return c.sim.live, c.sim.egPorts, c.sim.inPorts
+	}
+	egT, inT := s.egTouched[:0], s.inTouched[:0]
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		if s.egCnt[f.Src] == 0 {
+			egT = append(egT, f.Src)
+		}
+		s.egCnt[f.Src]++
+		s.egNeed[f.Src] += f.Remaining
+		if s.inCnt[f.Dst] == 0 {
+			inT = append(inT, f.Dst)
+		}
+		s.inCnt[f.Dst]++
+		s.inNeed[f.Dst] += f.Remaining
+	}
+	s.egTouched, s.inTouched = egT, inT
+	return c.Flows, egT, inT
+}
+
+// clearDemand zeroes exactly the scratch entries demandInto touched.
+func clearDemand(s *allocScratch, egPorts, inPorts []int) {
+	for _, p := range egPorts {
+		s.egNeed[p] = 0
+		s.egCnt[p] = 0
+	}
+	for _, p := range inPorts {
+		s.inNeed[p] = 0
+		s.inCnt[p] = 0
+	}
+}
+
 // CCT returns the coflow completion time (relative to arrival). It panics
 // if the coflow has not completed; call after the simulation finished.
 func (c *Coflow) CCT() float64 {
@@ -178,37 +376,38 @@ func resetRates(active []*Coflow) {
 // remaining/capacity, so flow f gets rate remaining_f/τ. Rates are deducted
 // from the residual capacities. Returns the τ achieved (+Inf if a needed
 // port has no capacity, in which case no rates are assigned).
-func maddAllocate(c *Coflow, egCap, inCap []float64) float64 {
-	egNeed := map[int]float64{}
-	inNeed := map[int]float64{}
-	for _, f := range c.Flows {
-		if f.Done {
-			continue
-		}
-		egNeed[f.Src] += f.Remaining
-		inNeed[f.Dst] += f.Remaining
-	}
+func maddAllocate(c *Coflow, egCap, inCap []float64, s *allocScratch) float64 {
+	flows, egPorts, inPorts := c.demandInto(s)
 	tau := 0.0
-	for p, need := range egNeed {
+	blocked := false
+	for _, p := range egPorts {
 		if egCap[p] <= 0 {
-			return math.Inf(1)
+			blocked = true
+			break
 		}
-		if t := need / egCap[p]; t > tau {
+		if t := s.egNeed[p] / egCap[p]; t > tau {
 			tau = t
 		}
 	}
-	for p, need := range inNeed {
-		if inCap[p] <= 0 {
-			return math.Inf(1)
+	if !blocked {
+		for _, p := range inPorts {
+			if inCap[p] <= 0 {
+				blocked = true
+				break
+			}
+			if t := s.inNeed[p] / inCap[p]; t > tau {
+				tau = t
+			}
 		}
-		if t := need / inCap[p]; t > tau {
-			tau = t
-		}
+	}
+	clearDemand(s, egPorts, inPorts)
+	if blocked {
+		return math.Inf(1)
 	}
 	if tau == 0 {
 		return 0
 	}
-	for _, f := range c.Flows {
+	for _, f := range flows {
 		if f.Done {
 			continue
 		}
@@ -223,42 +422,54 @@ func maddAllocate(c *Coflow, egCap, inCap []float64) float64 {
 // waterFill distributes the residual capacity max-min fairly across the
 // given flows (progressive filling). Rates are added on top of any rates
 // already assigned and deducted from the capacities.
-func waterFill(flows []*Flow, egCap, inCap []float64) {
-	st := make([]fillState, len(flows))
+func waterFill(flows []*Flow, egCap, inCap []float64, s *allocScratch) {
+	if cap(s.fill) < len(flows) {
+		s.fill = make([]fillState, len(flows))
+	}
+	st := s.fill[:len(flows)]
 	unfrozen := 0
-	for _, f := range flows {
+	for i, f := range flows {
+		st[i].frozen = f.Done
 		if !f.Done {
 			unfrozen++
 		}
 	}
-	for i, f := range flows {
-		if f.Done {
-			st[i].frozen = true
-		}
-	}
 	for unfrozen > 0 {
-		// Count unfrozen flows per port.
-		egCnt := map[int]int{}
-		inCnt := map[int]int{}
+		// Count unfrozen flows per port (dense counters; the touched
+		// lists make the clear O(ports in use)).
+		egT, inT := s.egTouched[:0], s.inTouched[:0]
 		for i, f := range flows {
 			if st[i].frozen {
 				continue
 			}
-			egCnt[f.Src]++
-			inCnt[f.Dst]++
+			if s.egCnt[f.Src] == 0 {
+				egT = append(egT, f.Src)
+			}
+			s.egCnt[f.Src]++
+			if s.inCnt[f.Dst] == 0 {
+				inT = append(inT, f.Dst)
+			}
+			s.inCnt[f.Dst]++
 		}
 		// The common increment is limited by the tightest port.
 		alpha := math.Inf(1)
-		for p, cnt := range egCnt {
-			if a := egCap[p] / float64(cnt); a < alpha {
+		for _, p := range egT {
+			if a := egCap[p] / float64(s.egCnt[p]); a < alpha {
 				alpha = a
 			}
 		}
-		for p, cnt := range inCnt {
-			if a := inCap[p] / float64(cnt); a < alpha {
+		for _, p := range inT {
+			if a := inCap[p] / float64(s.inCnt[p]); a < alpha {
 				alpha = a
 			}
 		}
+		for _, p := range egT {
+			s.egCnt[p] = 0
+		}
+		for _, p := range inT {
+			s.inCnt[p] = 0
+		}
+		s.egTouched, s.inTouched = egT, inT
 		if math.IsInf(alpha, 1) || alpha <= 0 {
 			// No capacity left anywhere: freeze everyone.
 			for i := range st {
@@ -317,16 +528,22 @@ func freezeTightest(flows []*Flow, st []fillState, egCap, inCap []float64) {
 	}
 }
 
-// activeFlows flattens the non-done flows of the active coflows.
-func activeFlows(active []*Coflow) []*Flow {
-	var out []*Flow
+// activeFlows flattens the non-done flows of the active coflows into the
+// scratch flow buffer, preserving (coflow, flow) order.
+func activeFlows(active []*Coflow, s *allocScratch) []*Flow {
+	out := s.flows[:0]
 	for _, c := range active {
+		if c.sim.valid {
+			out = append(out, c.sim.live...)
+			continue
+		}
 		for _, f := range c.Flows {
 			if !f.Done {
 				out = append(out, f)
 			}
 		}
 	}
+	s.flows = out
 	return out
 }
 
@@ -335,42 +552,55 @@ func activeFlows(active []*Coflow) []*Flow {
 // ---------------------------------------------------------------------------
 
 // orderedMADD is the shared engine of the priority-ordered schedulers: it
-// serves coflows in the order produced by less, giving each MADD rates from
-// the residual capacity, then backfills leftovers max-min fairly across all
-// remaining flows (work conservation, as in Varys).
+// serves coflows in priority order, giving each MADD rates from the residual
+// capacity, then backfills leftovers max-min fairly across all remaining
+// flows (work conservation, as in Varys).
+//
+// The serving order persists across epochs. Policies with static keys
+// (arrival time, width) re-sort only when the active-set membership changes;
+// dynamic policies (Γ, remaining bytes) recompute keys once per epoch — not
+// once per comparison, as the pre-optimized code did — and rely on the
+// adaptive insertion sort to exploit the near-sorted order.
 type orderedMADD struct {
-	name     string
-	less     func(a, b *Coflow, n int) bool
+	name string
+	// key computes the coflow's priority (smaller serves first; ties break
+	// by coflow ID).
+	key func(c *Coflow, s *allocScratch) float64
+	// dynamic marks keys that drift as bytes move, forcing a per-epoch
+	// re-key + re-sort even with unchanged membership.
+	dynamic  bool
 	backfill bool
+
+	scratch allocScratch
+	ord     orderState
 }
 
-func (o orderedMADD) Name() string { return o.name }
+func (o *orderedMADD) Name() string { return o.name }
 
-func (o orderedMADD) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
+func (o *orderedMADD) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
 	resetRates(active)
-	n := len(egCap)
-	order := append([]*Coflow(nil), active...)
-	sort.SliceStable(order, func(a, b int) bool { return o.less(order[a], order[b], n) })
-	for _, c := range order {
-		maddAllocate(c, egCap, inCap)
+	o.scratch.ensure(len(egCap))
+	if o.ord.sync(active) || o.dynamic {
+		for _, c := range o.ord.order {
+			c.schedKey = o.key(c, &o.scratch)
+		}
+		sortByKey(o.ord.order, false)
+	}
+	for _, c := range o.ord.order {
+		maddAllocate(c, egCap, inCap, &o.scratch)
 	}
 	if o.backfill {
-		waterFill(activeFlows(active), egCap, inCap)
+		waterFill(activeFlows(active, &o.scratch), egCap, inCap, &o.scratch)
 	}
 }
 
 // NewVarys returns the Varys scheduler: Smallest Effective Bottleneck First
 // ordering with MADD allocation and work-conserving backfill (SIGCOMM'14).
 func NewVarys() Scheduler {
-	return orderedMADD{
-		name: "varys-sebf",
-		less: func(a, b *Coflow, n int) bool {
-			ga, gb := a.Bottleneck(n), b.Bottleneck(n)
-			if ga != gb {
-				return ga < gb
-			}
-			return a.ID < b.ID
-		},
+	return &orderedMADD{
+		name:     "varys-sebf",
+		key:      func(c *Coflow, s *allocScratch) float64 { return c.bottleneckScratch(s) },
+		dynamic:  true,
 		backfill: true,
 	}
 }
@@ -378,14 +608,9 @@ func NewVarys() Scheduler {
 // NewFIFO returns first-come-first-served coflow scheduling with MADD rates,
 // ties by ID. FIFO-LM of Qiu et al. without the multiplexing.
 func NewFIFO() Scheduler {
-	return orderedMADD{
-		name: "fifo",
-		less: func(a, b *Coflow, _ int) bool {
-			if a.Arrival != b.Arrival {
-				return a.Arrival < b.Arrival
-			}
-			return a.ID < b.ID
-		},
+	return &orderedMADD{
+		name:     "fifo",
+		key:      func(c *Coflow, _ *allocScratch) float64 { return c.Arrival },
 		backfill: true,
 	}
 }
@@ -393,30 +618,28 @@ func NewFIFO() Scheduler {
 // NewSCF returns Smallest (remaining) Coflow First — the size-based
 // counterpart of SEBF.
 func NewSCF() Scheduler {
-	return orderedMADD{
+	return &orderedMADD{
 		name: "scf",
-		less: func(a, b *Coflow, _ int) bool {
-			ra, rb := a.RemainingBytes(), b.RemainingBytes()
-			if ra != rb {
-				return ra < rb
+		key: func(c *Coflow, _ *allocScratch) float64 {
+			if c.sim.valid {
+				var r float64
+				for _, f := range c.sim.live {
+					r += f.Remaining
+				}
+				return r
 			}
-			return a.ID < b.ID
+			return c.RemainingBytes()
 		},
+		dynamic:  true,
 		backfill: true,
 	}
 }
 
 // NewNCF returns Narrowest Coflow First (fewest flows first).
 func NewNCF() Scheduler {
-	return orderedMADD{
-		name: "ncf",
-		less: func(a, b *Coflow, _ int) bool {
-			wa, wb := a.Width(), b.Width()
-			if wa != wb {
-				return wa < wb
-			}
-			return a.ID < b.ID
-		},
+	return &orderedMADD{
+		name:     "ncf",
+		key:      func(c *Coflow, _ *allocScratch) float64 { return float64(len(c.Flows)) },
 		backfill: true,
 	}
 }
@@ -430,6 +653,9 @@ type Aalo struct {
 	FirstThreshold float64
 	// Multiplier grows thresholds geometrically (Aalo default 10).
 	Multiplier float64
+
+	scratch allocScratch
+	ord     orderState
 }
 
 // NewAalo returns an Aalo scheduler with the paper defaults.
@@ -449,24 +675,26 @@ func (a *Aalo) queueOf(c *Coflow) int {
 	return q
 }
 
-// Allocate implements Scheduler.
+// Allocate implements Scheduler. The queue order persists across epochs and
+// is re-sorted only when membership changes or a coflow crosses a queue
+// threshold (queue index, then arrival, then ID is a strict total order).
 func (a *Aalo) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
 	resetRates(active)
-	order := append([]*Coflow(nil), active...)
-	sort.SliceStable(order, func(x, y int) bool {
-		qx, qy := a.queueOf(order[x]), a.queueOf(order[y])
-		if qx != qy {
-			return qx < qy
+	a.scratch.ensure(len(egCap))
+	resort := a.ord.sync(active)
+	for _, c := range a.ord.order {
+		if q := float64(a.queueOf(c)); q != c.schedKey {
+			c.schedKey = q
+			resort = true
 		}
-		if order[x].Arrival != order[y].Arrival {
-			return order[x].Arrival < order[y].Arrival
-		}
-		return order[x].ID < order[y].ID
-	})
-	for _, c := range order {
-		maddAllocate(c, egCap, inCap)
 	}
-	waterFill(activeFlows(active), egCap, inCap)
+	if resort {
+		sortByKey(a.ord.order, true)
+	}
+	for _, c := range a.ord.order {
+		maddAllocate(c, egCap, inCap, &a.scratch)
+	}
+	waterFill(activeFlows(active, &a.scratch), egCap, inCap, &a.scratch)
 }
 
 // PerFlowFair ignores coflow boundaries entirely and shares every port
@@ -480,7 +708,10 @@ func (PerFlowFair) Name() string { return "per-flow-fair" }
 // Allocate implements Scheduler.
 func (PerFlowFair) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
 	resetRates(active)
-	waterFill(activeFlows(active), egCap, inCap)
+	s := scratchPool.Get().(*allocScratch)
+	s.ensure(len(egCap))
+	waterFill(activeFlows(active, s), egCap, inCap, s)
+	scratchPool.Put(s)
 }
 
 // SequentialByDest reproduces the uncoordinated "worst schedule" of the
@@ -496,7 +727,9 @@ func (SequentialByDest) Name() string { return "sequential-by-dest" }
 // Allocate implements Scheduler.
 func (SequentialByDest) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
 	resetRates(active)
-	flows := activeFlows(active)
+	s := scratchPool.Get().(*allocScratch)
+	s.ensure(len(egCap))
+	flows := activeFlows(active, s)
 	cur := -1
 	for _, f := range flows {
 		if cur == -1 || f.Dst < cur {
@@ -504,13 +737,16 @@ func (SequentialByDest) Allocate(_ float64, active []*Coflow, egCap, inCap []flo
 		}
 	}
 	if cur == -1 {
+		scratchPool.Put(s)
 		return
 	}
-	var subset []*Flow
+	subset := s.subset[:0]
 	for _, f := range flows {
 		if f.Dst == cur {
 			subset = append(subset, f)
 		}
 	}
-	waterFill(subset, egCap, inCap)
+	s.subset = subset
+	waterFill(subset, egCap, inCap, s)
+	scratchPool.Put(s)
 }

@@ -91,6 +91,12 @@ func TestCCTPanicsWhenIncomplete(t *testing.T) {
 	_ = c.CCT()
 }
 
+func testScratch(n int) *allocScratch {
+	s := new(allocScratch)
+	s.ensure(n)
+	return s
+}
+
 func capSlices(n int, bw float64) (eg, in []float64) {
 	eg = make([]float64, n)
 	in = make([]float64, n)
@@ -107,7 +113,7 @@ func TestMADDFinishesFlowsTogether(t *testing.T) {
 		singleFlow(2, 2, 1, 2),
 	})
 	eg, in := capSlices(3, 1)
-	tau := maddAllocate(c, eg, in)
+	tau := maddAllocate(c, eg, in, testScratch(3))
 	// Bottleneck: egress 0 carries 12 at capacity 1 ⇒ τ = 12.
 	if tau != 12 {
 		t.Fatalf("τ = %g, want 12", tau)
@@ -127,7 +133,7 @@ func TestMADDBlockedPort(t *testing.T) {
 	c := New(0, "m", 0, []Flow{singleFlow(0, 0, 1, 8)})
 	eg, in := capSlices(2, 1)
 	eg[0] = 0
-	tau := maddAllocate(c, eg, in)
+	tau := maddAllocate(c, eg, in, testScratch(2))
 	if !math.IsInf(tau, 1) {
 		t.Fatalf("τ = %g with a dead port, want +Inf", tau)
 	}
@@ -144,7 +150,8 @@ func TestWaterFillSingleBottleneck(t *testing.T) {
 		singleFlow(2, 0, 3, 10),
 	})
 	eg, in := capSlices(4, 3)
-	waterFill(activeFlows([]*Coflow{c}), eg, in)
+	s := testScratch(4)
+	waterFill(activeFlows([]*Coflow{c}, s), eg, in, s)
 	for _, f := range c.Flows {
 		if math.Abs(f.Rate-1) > 1e-9 {
 			t.Errorf("flow %d rate = %g, want 1 (3-way fair share of 3)", f.ID, f.Rate)
@@ -166,7 +173,8 @@ func TestWaterFillMaxMin(t *testing.T) {
 		singleFlow(2, 3, 2, 10),
 	})
 	eg, in := capSlices(4, 1)
-	waterFill(activeFlows([]*Coflow{c}), eg, in)
+	s := testScratch(4)
+	waterFill(activeFlows([]*Coflow{c}, s), eg, in, s)
 	for _, f := range c.Flows {
 		if math.Abs(f.Rate-0.5) > 1e-9 {
 			t.Errorf("flow %d rate = %g, want 0.5", f.ID, f.Rate)
@@ -183,7 +191,8 @@ func TestWaterFillUnevenLevels(t *testing.T) {
 		singleFlow(2, 3, 4, 10),
 	})
 	eg, in := capSlices(5, 1)
-	waterFill(activeFlows([]*Coflow{c}), eg, in)
+	s := testScratch(5)
+	waterFill(activeFlows([]*Coflow{c}, s), eg, in, s)
 	want := []float64{0.5, 0.5, 1}
 	for i, f := range c.Flows {
 		if math.Abs(f.Rate-want[i]) > 1e-9 {
@@ -204,7 +213,8 @@ func TestWaterFillRespectsCapacitiesProperty(t *testing.T) {
 		}
 		c := New(0, "p", 0, flows)
 		eg, in := capSlices(n, 1)
-		waterFill(activeFlows([]*Coflow{c}), eg, in)
+		s := testScratch(n)
+		waterFill(activeFlows([]*Coflow{c}, s), eg, in, s)
 		egUse := make([]float64, n)
 		inUse := make([]float64, n)
 		for _, fl := range c.Flows {

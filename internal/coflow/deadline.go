@@ -8,10 +8,7 @@ package coflow
 // (minimum-allocation keeps slack for future arrivals), while rejected and
 // best-effort (deadline-less) coflows share the leftovers max-min fairly.
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // admission state of a coflow within one simulation.
 type admission int
@@ -27,6 +24,9 @@ const (
 // simulator runs — create a fresh instance per Run.
 type Deadline struct {
 	state map[int]admission
+
+	scratch allocScratch
+	ord     orderState
 }
 
 // NewVarysDeadline returns a fresh deadline-mode scheduler.
@@ -41,18 +41,19 @@ func (d *Deadline) Name() string { return "varys-deadline" }
 // rejected, undecided, or unknown IDs).
 func (d *Deadline) Admitted(id int) bool { return d.state[id] == admitted }
 
-// Allocate implements Scheduler.
+// Allocate implements Scheduler. Arrival order is static per coflow, so the
+// serving order is re-sorted only when the active-set membership changes.
 func (d *Deadline) Allocate(now float64, active []*Coflow, egCap, inCap []float64) {
 	resetRates(active)
-	order := append([]*Coflow(nil), active...)
-	sort.SliceStable(order, func(a, b int) bool {
-		if order[a].Arrival != order[b].Arrival {
-			return order[a].Arrival < order[b].Arrival
+	d.scratch.ensure(len(egCap))
+	if d.ord.sync(active) {
+		for _, c := range d.ord.order {
+			c.schedKey = c.Arrival
 		}
-		return order[a].ID < order[b].ID
-	})
+		sortByKey(d.ord.order, false)
+	}
 
-	for _, c := range order {
+	for _, c := range d.ord.order {
 		if c.Deadline <= 0 {
 			continue // best effort: served by the backfill below
 		}
@@ -72,7 +73,7 @@ func (d *Deadline) Allocate(now float64, active []*Coflow, egCap, inCap []float6
 		if timeLeft <= 0 {
 			// Past due (should not happen for truly admitted coflows, but
 			// float drift can leave crumbs): drain at full MADD speed.
-			maddAllocate(c, egCap, inCap)
+			maddAllocate(c, egCap, inCap, &d.scratch)
 			continue
 		}
 		for _, f := range c.Flows {
@@ -93,7 +94,7 @@ func (d *Deadline) Allocate(now float64, active []*Coflow, egCap, inCap []float6
 	// Leftover capacity serves rejected and best-effort coflows — and
 	// opportunistically accelerates everyone (finishing early never breaks
 	// a deadline).
-	waterFill(activeFlows(active), egCap, inCap)
+	waterFill(activeFlows(active, &d.scratch), egCap, inCap, &d.scratch)
 }
 
 // admit checks whether finish-at-deadline rates fit the residual capacity.
@@ -102,27 +103,55 @@ func (d *Deadline) admit(c *Coflow, now float64, egCap, inCap []float64) bool {
 	if timeLeft <= 0 {
 		return false
 	}
-	egNeed := map[int]float64{}
-	inNeed := map[int]float64{}
-	for _, f := range c.Flows {
-		if f.Done {
-			continue
+	// Accumulate the per-port required rates into the dense scratch, like
+	// demandInto but for Remaining/timeLeft.
+	s := &d.scratch
+	flows := c.Flows
+	var egPorts, inPorts []int
+	if c.sim.valid {
+		flows, egPorts, inPorts = c.sim.live, c.sim.egPorts, c.sim.inPorts
+		for _, f := range flows {
+			s.egNeed[f.Src] += f.Remaining / timeLeft
+			s.inNeed[f.Dst] += f.Remaining / timeLeft
 		}
-		egNeed[f.Src] += f.Remaining / timeLeft
-		inNeed[f.Dst] += f.Remaining / timeLeft
+	} else {
+		egT, inT := s.egTouched[:0], s.inTouched[:0]
+		for _, f := range flows {
+			if f.Done {
+				continue
+			}
+			if s.egCnt[f.Src] == 0 {
+				egT = append(egT, f.Src)
+			}
+			s.egCnt[f.Src]++
+			s.egNeed[f.Src] += f.Remaining / timeLeft
+			if s.inCnt[f.Dst] == 0 {
+				inT = append(inT, f.Dst)
+			}
+			s.inCnt[f.Dst]++
+			s.inNeed[f.Dst] += f.Remaining / timeLeft
+		}
+		s.egTouched, s.inTouched = egT, inT
+		egPorts, inPorts = egT, inT
 	}
 	const tol = 1 + 1e-9
-	for p, need := range egNeed {
-		if need > egCap[p]*tol {
-			return false
+	ok := true
+	for _, p := range egPorts {
+		if s.egNeed[p] > egCap[p]*tol {
+			ok = false
+			break
 		}
 	}
-	for p, need := range inNeed {
-		if need > inCap[p]*tol {
-			return false
+	if ok {
+		for _, p := range inPorts {
+			if s.inNeed[p] > inCap[p]*tol {
+				ok = false
+				break
+			}
 		}
 	}
-	return true
+	clearDemand(s, egPorts, inPorts)
+	return ok
 }
 
 // DeadlineStats summarises deadline outcomes after a simulation: which

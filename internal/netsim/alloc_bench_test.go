@@ -1,0 +1,114 @@
+package netsim_test
+
+// Microbenchmarks pinning the allocation-free hot path: a steady-state
+// simulation run (reused Simulator + RunInto + reused coflows) must report
+// 0 allocs/op. Any allocation that sneaks back into the epoch loop, the
+// schedulers, or the live-flow caches shows up here immediately.
+
+import (
+	"fmt"
+	"testing"
+
+	"ccf/internal/coflow"
+	"ccf/internal/netsim"
+)
+
+func allToAll(b *testing.B, n int) []*coflow.Coflow {
+	b.Helper()
+	vol := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				vol[i*n+j] = int64(1e6 * (1 + (i+j)%7))
+			}
+		}
+	}
+	cf, err := coflow.FromVolumes(0, "bench", 0, n, vol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []*coflow.Coflow{cf}
+}
+
+func staggered(b *testing.B, n, ncf int) []*coflow.Coflow {
+	b.Helper()
+	out := make([]*coflow.Coflow, 0, ncf)
+	for ci := 0; ci < ncf; ci++ {
+		var flows []coflow.Flow
+		for f := 0; f < n/2; f++ {
+			src := (ci + f) % n
+			dst := (src + 1 + f%(n-1)) % n
+			flows = append(flows, coflow.Flow{ID: f, Src: src, Dst: dst, Size: float64(1+(ci+f)%9) * 1e6})
+		}
+		out = append(out, coflow.New(ci, "bench", float64(ci)/4, flows))
+	}
+	return out
+}
+
+// BenchmarkSteadyStateRun measures a full simulation run on the steady-state
+// path for each scheduler family; allocs/op must be 0.
+func BenchmarkSteadyStateRun(b *testing.B) {
+	scheds := []struct {
+		name string
+		mk   func() coflow.Scheduler
+	}{
+		{"varys", coflow.NewVarys},
+		{"aalo", func() coflow.Scheduler { return coflow.NewAalo() }},
+		{"fifo", coflow.NewFIFO},
+		{"per-flow-fair", func() coflow.Scheduler { return coflow.PerFlowFair{} }},
+	}
+	for _, sc := range scheds {
+		for _, n := range []int{16, 64} {
+			b.Run(fmt.Sprintf("%s/n=%d", sc.name, n), func(b *testing.B) {
+				cfs := staggered(b, n, 24)
+				fab, err := netsim.NewFabric(n, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim := netsim.NewSimulator(fab, sc.mk())
+				var rep netsim.Report
+				if err := sim.RunInto(cfs, &rep); err != nil { // warm the scratch
+					b.Fatal(err)
+				}
+				epochs := rep.Epochs
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sim.RunInto(cfs, &rep); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if b.Elapsed() > 0 {
+					b.ReportMetric(float64(epochs)*float64(b.N)/b.Elapsed().Seconds(), "epochs/s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSteadyStateSingleCoflow is the MADD fast path: one all-to-all
+// coflow (n²−n flows), the shape behind the paper's bandwidth-model check.
+func BenchmarkSteadyStateSingleCoflow(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfs := allToAll(b, n)
+			fab, err := netsim.NewFabric(n, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim := netsim.NewSimulator(fab, coflow.NewVarys())
+			var rep netsim.Report
+			if err := sim.RunInto(cfs, &rep); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sim.RunInto(cfs, &rep); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

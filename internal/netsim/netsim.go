@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"ccf/internal/coflow"
 )
@@ -131,6 +130,28 @@ type Simulator struct {
 	// stage's shuffle coflow releases when the previous stage finishes.
 	// Cycles and unknown IDs are reported as errors.
 	Deps map[int][]int
+
+	// scratch holds the per-run buffers so repeated Runs (parameter sweeps,
+	// the online co-optimizer's probes, benchmarks) reuse storage instead of
+	// reallocating it. Simulators are therefore not safe for concurrent Runs.
+	scratch runScratch
+}
+
+// runScratch is the simulator's reusable per-run storage. Sized on first use
+// and only ever grown; the event loop itself allocates nothing at steady
+// state (the per-run CCT map entries are the one unavoidable exception, and
+// RunInto lets callers recycle even those).
+type runScratch struct {
+	pending      []*coflow.Coflow
+	active       []*coflow.Coflow
+	events       []CapacityEvent
+	egFac, inFac []float64
+	egCap, inCap []float64
+	egUse, inUse []float64        // fused rate-check accumulators
+	live         []*coflow.Flow   // flat non-done flows of the active coflows
+	dirty        []*coflow.Coflow // coflows with completions this epoch
+	completed    map[int]bool
+	known        map[int]bool
 }
 
 // CapacityEvent rescales one port's capacities at a point in time. Factors
@@ -153,14 +174,27 @@ func NewSimulator(f Fabric, s coflow.Scheduler) *Simulator {
 // EndTime, per-coflow Completion, and the aggregate report. Coflows may
 // arrive at different times; flows within a coflow start at its arrival.
 func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
+	rep := &Report{}
+	if err := s.RunInto(coflows, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// RunInto is Run with caller-owned Report storage: rep is reset (its CCTs
+// map is cleared and reused) and filled in place, so steady-state repeat
+// runs — benchmark loops, the online co-optimizer's what-if probes — don't
+// allocate a report per run.
+func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
+	ports := s.fabric.Ports
 	for _, c := range coflows {
 		for _, f := range c.Flows {
-			if f.Src < 0 || f.Src >= s.fabric.Ports || f.Dst < 0 || f.Dst >= s.fabric.Ports {
-				return nil, fmt.Errorf("netsim: flow %d of coflow %d uses port (%d→%d) outside fabric of %d ports",
-					f.ID, c.ID, f.Src, f.Dst, s.fabric.Ports)
+			if f.Src < 0 || f.Src >= ports || f.Dst < 0 || f.Dst >= ports {
+				return fmt.Errorf("netsim: flow %d of coflow %d uses port (%d→%d) outside fabric of %d ports",
+					f.ID, c.ID, f.Src, f.Dst, ports)
 			}
 			if f.Src == f.Dst {
-				return nil, fmt.Errorf("netsim: flow %d of coflow %d is a self-loop at port %d", f.ID, c.ID, f.Src)
+				return fmt.Errorf("netsim: flow %d of coflow %d is a self-loop at port %d", f.ID, c.ID, f.Src)
 			}
 			f.Remaining = f.Size
 			f.Done = f.Size <= 0
@@ -168,28 +202,41 @@ func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
 		}
 		c.Completed = false
 		c.SentBytes = 0
+		c.BeginSim(ports)
 	}
 
-	pending := append([]*coflow.Coflow(nil), coflows...)
-	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Arrival < pending[b].Arrival })
+	sc := &s.scratch
+	pending := append(sc.pending[:0], coflows...)
+	coflow.InsertionSortByArrival(pending)
+	sc.pending = pending
 
 	// Dependency bookkeeping.
-	completed := make(map[int]bool, len(coflows))
+	if sc.completed == nil {
+		sc.completed = make(map[int]bool, len(coflows))
+	} else {
+		clear(sc.completed)
+	}
+	completed := sc.completed
 	if len(s.Deps) > 0 {
-		known := make(map[int]bool, len(coflows))
+		if sc.known == nil {
+			sc.known = make(map[int]bool, len(coflows))
+		} else {
+			clear(sc.known)
+		}
+		known := sc.known
 		for _, c := range coflows {
 			known[c.ID] = true
 		}
 		for id, deps := range s.Deps {
 			if !known[id] {
-				return nil, fmt.Errorf("netsim: dependency declared for unknown coflow %d", id)
+				return fmt.Errorf("netsim: dependency declared for unknown coflow %d", id)
 			}
 			for _, dep := range deps {
 				if !known[dep] {
-					return nil, fmt.Errorf("netsim: coflow %d depends on unknown coflow %d", id, dep)
+					return fmt.Errorf("netsim: coflow %d depends on unknown coflow %d", id, dep)
 				}
 				if dep == id {
-					return nil, fmt.Errorf("netsim: coflow %d depends on itself", id)
+					return fmt.Errorf("netsim: coflow %d depends on itself", id)
 				}
 			}
 		}
@@ -203,35 +250,48 @@ func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
 		return true
 	}
 
-	events := append([]CapacityEvent(nil), s.Events...)
-	sort.SliceStable(events, func(a, b int) bool { return events[a].Time < events[b].Time })
+	events := append(sc.events[:0], s.Events...)
+	sortEventsByTime(events)
+	sc.events = events
 	for _, ev := range events {
-		if ev.Port < 0 || ev.Port >= s.fabric.Ports {
-			return nil, fmt.Errorf("netsim: capacity event targets port %d outside fabric of %d ports", ev.Port, s.fabric.Ports)
+		if ev.Port < 0 || ev.Port >= ports {
+			return fmt.Errorf("netsim: capacity event targets port %d outside fabric of %d ports", ev.Port, ports)
 		}
 		if ev.EgressFactor < 0 || ev.IngressFactor < 0 {
-			return nil, fmt.Errorf("netsim: capacity event at t=%g has negative factor", ev.Time)
+			return fmt.Errorf("netsim: capacity event at t=%g has negative factor", ev.Time)
 		}
 	}
-	egFac := make([]float64, s.fabric.Ports)
-	inFac := make([]float64, s.fabric.Ports)
+	sc.ensurePorts(ports)
+	egFac, inFac := sc.egFac[:ports], sc.inFac[:ports]
 	for p := range egFac {
 		egFac[p], inFac[p] = 1, 1
 	}
+	egCap, inCap := sc.egCap[:ports], sc.inCap[:ports]
+	egUse, inUse := sc.egUse[:ports], sc.inUse[:ports]
 
-	var active []*coflow.Coflow
+	active := sc.active[:0]
+	defer func() { sc.active = active[:0] }()
 	now := 0.0
 	if len(pending) > 0 {
 		now = pending[0].Arrival
 	}
-	rep := &Report{CCTs: make(map[int]float64, len(coflows))}
+	*rep = Report{CCTs: rep.CCTs}
+	if rep.CCTs == nil {
+		rep.CCTs = make(map[int]float64, len(coflows))
+	} else {
+		clear(rep.CCTs)
+	}
 
-	egCap := make([]float64, s.fabric.Ports)
-	inCap := make([]float64, s.fabric.Ports)
+	// liveFlows is the flat list of non-done flows of the active coflows,
+	// grouped by coflow in admission order. It is maintained incrementally:
+	// extended at admission, compacted after epochs with completions —
+	// never re-materialized from scratch.
+	liveFlows := sc.live[:0]
+	defer func() { sc.live = liveFlows[:0] }()
 
 	for epoch := 0; ; epoch++ {
 		if epoch >= s.MaxEpochs {
-			return nil, fmt.Errorf("netsim: exceeded %d epochs (scheduler %q livelock?)", s.MaxEpochs, s.sched.Name())
+			return fmt.Errorf("netsim: exceeded %d epochs (scheduler %q livelock?)", s.MaxEpochs, s.sched.Name())
 		}
 		// Admit arrivals (time reached and dependencies completed) and
 		// apply due capacity events. A dependency-gated coflow's Arrival is
@@ -243,6 +303,7 @@ func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
 					c.Arrival = now
 				}
 				active = append(active, c)
+				liveFlows = append(liveFlows, c.LiveFlows()...)
 				continue
 			}
 			stillPending = append(stillPending, c)
@@ -254,10 +315,10 @@ func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
 			egFac[ev.Port] = ev.EgressFactor
 			inFac[ev.Port] = ev.IngressFactor
 		}
-		// Retire completed coflows.
-		live := active[:0]
+		// Retire completed coflows (O(1) per coflow via the live-flow cache).
+		liveCF := active[:0]
 		for _, c := range active {
-			if coflowDone(c) {
+			if c.Finished() {
 				if !c.Completed {
 					c.Completed = true
 					c.Completion = now
@@ -266,9 +327,9 @@ func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
 				}
 				continue
 			}
-			live = append(live, c)
+			liveCF = append(liveCF, c)
 		}
-		active = live
+		active = liveCF
 
 		if s.Horizon > 0 && now >= s.Horizon-1e-12 {
 			now = s.Horizon
@@ -287,7 +348,7 @@ func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
 				}
 			}
 			if math.IsInf(next, 1) {
-				return nil, fmt.Errorf("netsim: %d coflows blocked on dependencies that can never complete (cycle?)", len(pending))
+				return fmt.Errorf("netsim: %d coflows blocked on dependencies that can never complete (cycle?)", len(pending))
 			}
 			if s.Horizon > 0 && next >= s.Horizon {
 				now = s.Horizon
@@ -303,27 +364,43 @@ func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
 
 		// Scheduling epoch.
 		rep.Epochs++
-		for p := 0; p < s.fabric.Ports; p++ {
+		for p := 0; p < ports; p++ {
 			egCap[p] = s.fabric.EgressCap[p] * egFac[p]
 			inCap[p] = s.fabric.IngressCap[p] * inFac[p]
+			egUse[p], inUse[p] = 0, 0
 		}
 		s.sched.Allocate(now, active, egCap, inCap)
-		if err := s.checkRates(active, egFac, inFac); err != nil {
-			return nil, err
-		}
 
-		// Time to next completion at current rates.
+		// One fused pass over the flat live-flow list: validate rates,
+		// accumulate per-port usage, and find the time to next completion.
+		// The flat list holds exactly the non-done flows in (coflow, flow)
+		// order, so the float accumulation matches the original nested scan.
 		dt := math.Inf(1)
-		for _, c := range active {
-			for _, f := range c.Flows {
-				if f.Done || f.Rate <= 0 {
-					continue
-				}
+		for _, f := range liveFlows {
+			if f.Rate < 0 {
+				return fmt.Errorf("netsim: scheduler %q set negative rate %g on flow %d", s.sched.Name(), f.Rate, f.ID)
+			}
+			egUse[f.Src] += f.Rate
+			inUse[f.Dst] += f.Rate
+			if f.Rate > 0 {
 				if t := f.Remaining / f.Rate; t < dt {
 					dt = t
 				}
 			}
 		}
+		// Port capacity check with 0.1% tolerance for float accumulation —
+		// keeps every scheduler honest under the property tests.
+		const tolAbs = 1e-9
+		tol := 1 + 1e-3
+		for p := 0; p < ports; p++ {
+			egLim := s.fabric.EgressCap[p] * egFac[p] * tol
+			inLim := s.fabric.IngressCap[p] * inFac[p] * tol
+			if egUse[p] > egLim+tolAbs || inUse[p] > inLim+tolAbs {
+				return fmt.Errorf("netsim: scheduler %q oversubscribed port %d (eg=%.3g/%.3g in=%.3g/%.3g)",
+					s.sched.Name(), p, egUse[p], egLim, inUse[p], inLim)
+			}
+		}
+
 		// ... or next eligible arrival or capacity event, whichever first.
 		// Dependency-gated coflows release at a completion, which is
 		// already a dt boundary, so only dependency-satisfied arrivals
@@ -345,29 +422,47 @@ func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
 			dt = s.Horizon - now
 		}
 		if math.IsInf(dt, 1) {
-			return nil, fmt.Errorf("%w: %d coflows active under scheduler %q", ErrStalled, len(active), s.sched.Name())
+			return fmt.Errorf("%w: %d coflows active under scheduler %q", ErrStalled, len(active), s.sched.Name())
 		}
 
-		// Advance.
+		// Advance along the flat list; coflows that lost flows are marked
+		// dirty (the list is grouped by coflow, so last-element dedup is
+		// exact) and compacted in one batched pass afterwards.
 		now += dt
-		for _, c := range active {
-			for _, f := range c.Flows {
-				if f.Done || f.Rate <= 0 {
-					continue
-				}
-				moved := f.Rate * dt
-				if moved > f.Remaining {
-					moved = f.Remaining
-				}
-				f.Remaining -= moved
-				c.SentBytes += moved
-				rep.TotalBytes += moved
-				if f.Remaining <= completionEps {
-					f.Remaining = 0
-					f.Done = true
-					f.EndTime = now
+		dirty := sc.dirty[:0]
+		for _, f := range liveFlows {
+			if f.Rate <= 0 {
+				continue
+			}
+			moved := f.Rate * dt
+			if moved > f.Remaining {
+				moved = f.Remaining
+			}
+			f.Remaining -= moved
+			f.Coflow.SentBytes += moved
+			rep.TotalBytes += moved
+			if f.Remaining <= completionEps {
+				f.Remaining = 0
+				f.Done = true
+				f.EndTime = now
+				if len(dirty) == 0 || dirty[len(dirty)-1] != f.Coflow {
+					dirty = append(dirty, f.Coflow)
 				}
 			}
+		}
+		sc.dirty = dirty
+		if len(dirty) > 0 {
+			for _, c := range dirty {
+				c.RefreshSim()
+			}
+			w := 0
+			for _, f := range liveFlows {
+				if !f.Done {
+					liveFlows[w] = f
+					w++
+				}
+			}
+			liveFlows = liveFlows[:w]
 		}
 	}
 
@@ -381,47 +476,35 @@ func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
 	if len(rep.CCTs) > 0 {
 		rep.AvgCCT /= float64(len(rep.CCTs))
 	}
-	return rep, nil
-}
-
-// checkRates validates the scheduler respected port capacities (with a 0.1%
-// tolerance for float accumulation). Catching violations here keeps every
-// scheduler honest under the property tests.
-func (s *Simulator) checkRates(active []*coflow.Coflow, egFac, inFac []float64) error {
-	eg := make([]float64, s.fabric.Ports)
-	in := make([]float64, s.fabric.Ports)
-	for _, c := range active {
-		for _, f := range c.Flows {
-			if f.Done {
-				continue
-			}
-			if f.Rate < 0 {
-				return fmt.Errorf("netsim: scheduler %q set negative rate %g on flow %d", s.sched.Name(), f.Rate, f.ID)
-			}
-			eg[f.Src] += f.Rate
-			in[f.Dst] += f.Rate
-		}
-	}
-	const tolAbs = 1e-9
-	tol := 1 + 1e-3
-	for p := 0; p < s.fabric.Ports; p++ {
-		egLim := s.fabric.EgressCap[p] * egFac[p] * tol
-		inLim := s.fabric.IngressCap[p] * inFac[p] * tol
-		if eg[p] > egLim+tolAbs || in[p] > inLim+tolAbs {
-			return fmt.Errorf("netsim: scheduler %q oversubscribed port %d (eg=%.3g/%.3g in=%.3g/%.3g)",
-				s.sched.Name(), p, eg[p], egLim, in[p], inLim)
-		}
-	}
 	return nil
 }
 
-func coflowDone(c *coflow.Coflow) bool {
-	for _, f := range c.Flows {
-		if !f.Done {
-			return false
-		}
+// ensurePorts sizes the per-port scratch for the fabric (grow-only).
+func (sc *runScratch) ensurePorts(n int) {
+	if len(sc.egFac) >= n {
+		return
 	}
-	return true
+	sc.egFac = make([]float64, n)
+	sc.inFac = make([]float64, n)
+	sc.egCap = make([]float64, n)
+	sc.inCap = make([]float64, n)
+	sc.egUse = make([]float64, n)
+	sc.inUse = make([]float64, n)
+}
+
+// sortEventsByTime stable-sorts capacity events by time without allocating
+// (the list is tiny and usually pre-sorted; insertion sort is the adaptive
+// O(n) case then).
+func sortEventsByTime(events []CapacityEvent) {
+	for i := 1; i < len(events); i++ {
+		ev := events[i]
+		j := i - 1
+		for j >= 0 && ev.Time < events[j].Time {
+			events[j+1] = events[j]
+			j--
+		}
+		events[j+1] = ev
+	}
 }
 
 // PortBacklog sums the remaining bytes of unfinished flows on each port —
