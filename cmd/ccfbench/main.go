@@ -36,18 +36,24 @@ func main() {
 	var (
 		exp = flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, motivating, "+
 			"ablation-rank, ablation-pmult, ablation-sort, ablation-exact, "+
-			"ablation-hetero, ablation-topo, ablation-bound, netsim-bench")
+			"ablation-hetero, ablation-topo, ablation-bound, netsim-bench, chaos, recovery")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper's ≈1 TB)")
 		bandwidth  = flag.Float64("bw", 0, "port bandwidth in bytes/sec (0 = CoflowSim default 128 MB/s)")
 		csvDir     = flag.String("csv", "", "directory to write per-panel CSV files (empty = none)")
 		eventSim   = flag.Bool("eventsim", false, "use the flow-level event simulator instead of the closed form (slow at full node counts)")
 		chart      = flag.Bool("chart", false, "also render each figure panel as an ASCII chart (time panels on a log scale)")
 		benchJSON  = flag.String("benchjson", "BENCH_netsim.json", "output path for the netsim-bench experiment's JSON")
+		seeds      = flag.Int("seeds", 32, "fault schedules for the chaos experiment")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
 	chartPanels = *chart
+
+	if err := validateBenchFlags(*exp, *scale, *bandwidth, *seeds); err != nil {
+		fmt.Fprintln(os.Stderr, "ccfbench:", err)
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -117,7 +123,8 @@ func main() {
 	run("ablation-hetero", func() error { return ablationHetero(opts) })
 	run("ablation-topo", func() error { return ablationTopo(opts) })
 	run("ablation-bound", func() error { return ablationBound(opts) })
-	// netsim-bench is opt-in only (it is a perf meter, not a paper figure).
+	// netsim-bench, chaos, and recovery are opt-in only (perf meter and
+	// failure-model experiments, not paper figures).
 	if *exp == "netsim-bench" {
 		fmt.Println("netsim steady-state benchmarks (simulator hot path):")
 		if err := netsimBench(*benchJSON); err != nil {
@@ -125,6 +132,45 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *exp == "chaos" {
+		if err := chaosExp(*seeds); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "recovery" {
+		if err := recoveryExp(*bandwidth); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: recovery: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// knownExperiments lists every value -exp accepts; anything else exits
+// non-zero instead of silently running nothing.
+var knownExperiments = map[string]bool{
+	"all": true, "fig5": true, "fig6": true, "fig7": true, "motivating": true,
+	"ablation-rank": true, "ablation-pmult": true, "ablation-sort": true,
+	"ablation-exact": true, "ablation-hetero": true, "ablation-topo": true,
+	"ablation-bound": true, "netsim-bench": true, "chaos": true, "recovery": true,
+}
+
+// validateBenchFlags rejects nonsensical knob values with a one-line message
+// before any experiment starts.
+func validateBenchFlags(exp string, scale, bw float64, seeds int) error {
+	if !knownExperiments[exp] {
+		return fmt.Errorf("unknown experiment %q (see -exp in -help)", exp)
+	}
+	if scale <= 0 {
+		return fmt.Errorf("-scale must be positive, got %g", scale)
+	}
+	if bw < 0 {
+		return fmt.Errorf("-bw must be non-negative, got %g", bw)
+	}
+	if seeds <= 0 {
+		return fmt.Errorf("-seeds must be positive, got %d", seeds)
+	}
+	return nil
 }
 
 // chartPanels toggles ASCII charts next to the numeric tables.

@@ -40,6 +40,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*nodes, *parts, *zipf, *skewFrac, *scale, *bandwidth); err != nil {
+		fmt.Fprintln(os.Stderr, "ccfsim:", err)
+		os.Exit(2)
+	}
 	if *traceFile != "" {
 		if err := runTrace(*traceFile, *coflowSch, *bandwidth); err != nil {
 			fmt.Fprintln(os.Stderr, "ccfsim:", err)
@@ -51,6 +55,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccfsim:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects nonsensical knob values up front with a one-line
+// message instead of letting them surface as panics or garbage output deep
+// in the pipeline.
+func validateFlags(nodes, parts int, zipf, skewFrac, scale, bw float64) error {
+	if nodes <= 0 {
+		return fmt.Errorf("-nodes must be positive, got %d", nodes)
+	}
+	if parts < 0 {
+		return fmt.Errorf("-partitions must be non-negative, got %d", parts)
+	}
+	if zipf < 0 {
+		return fmt.Errorf("-zipf must be non-negative, got %g", zipf)
+	}
+	if skewFrac < 0 || skewFrac >= 1 {
+		return fmt.Errorf("-skew must be in [0,1), got %g", skewFrac)
+	}
+	if scale <= 0 {
+		return fmt.Errorf("-scale must be positive, got %g", scale)
+	}
+	if bw < 0 {
+		return fmt.Errorf("-bw must be non-negative, got %g", bw)
+	}
+	return nil
 }
 
 func pickPlacer(name string) (placement.Scheduler, bool, error) {

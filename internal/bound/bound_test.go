@@ -12,7 +12,7 @@ import (
 )
 
 func randomMatrix(rng *rand.Rand, n, p, maxChunk int) *partition.ChunkMatrix {
-	m := partition.NewChunkMatrix(n, p)
+	m := partition.MustChunkMatrix(n, p)
 	for i := range m.H {
 		m.H[i] = int64(rng.Intn(maxChunk))
 	}
@@ -51,7 +51,7 @@ func TestLowerBoundAdmissibleAgainstExact(t *testing.T) {
 func TestLowerBoundNontrivial(t *testing.T) {
 	// On the motivating instance the optimum is 3; the bound should be
 	// positive and ≤ 3.
-	m := partition.NewChunkMatrix(3, 4)
+	m := partition.MustChunkMatrix(3, 4)
 	m.Set(0, 0, 3)
 	m.Set(2, 0, 1)
 	m.Set(0, 1, 3)
@@ -70,7 +70,7 @@ func TestLowerBoundNontrivial(t *testing.T) {
 }
 
 func TestLowerBoundZeroMatrix(t *testing.T) {
-	m := partition.NewChunkMatrix(3, 4)
+	m := partition.MustChunkMatrix(3, 4)
 	lb, err := LowerBound(m, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +81,7 @@ func TestLowerBoundZeroMatrix(t *testing.T) {
 }
 
 func TestLowerBoundSingleNode(t *testing.T) {
-	m := partition.NewChunkMatrix(1, 3)
+	m := partition.MustChunkMatrix(1, 3)
 	m.Set(0, 0, 10)
 	m.Set(0, 2, 5)
 	lb, err := LowerBound(m, nil)
@@ -94,12 +94,12 @@ func TestLowerBoundSingleNode(t *testing.T) {
 }
 
 func TestLowerBoundRejectsBadInputs(t *testing.T) {
-	m := partition.NewChunkMatrix(2, 2)
+	m := partition.MustChunkMatrix(2, 2)
 	m.Set(0, 0, -1)
 	if _, err := LowerBound(m, nil); err == nil {
 		t.Error("accepted a negative chunk")
 	}
-	m2 := partition.NewChunkMatrix(2, 2)
+	m2 := partition.MustChunkMatrix(2, 2)
 	if _, err := LowerBound(m2, &partition.Loads{Egress: []int64{1}, Ingress: []int64{1, 2}}); err == nil {
 		t.Error("accepted mis-sized initial loads")
 	}
@@ -107,7 +107,7 @@ func TestLowerBoundRejectsBadInputs(t *testing.T) {
 
 func TestLowerBoundRespectsInitialLoads(t *testing.T) {
 	// A pre-existing ingress of 100 on one port floors the bound at 100.
-	m := partition.NewChunkMatrix(3, 2)
+	m := partition.MustChunkMatrix(3, 2)
 	m.Set(0, 0, 10)
 	m.Set(1, 1, 10)
 	init := &partition.Loads{Egress: make([]int64, 3), Ingress: []int64{100, 0, 0}}
@@ -152,7 +152,7 @@ func TestGapBracketsHeuristicAtPaperShape(t *testing.T) {
 }
 
 func TestGapErrorsOnInfeasibleClaim(t *testing.T) {
-	m := partition.NewChunkMatrix(2, 1)
+	m := partition.MustChunkMatrix(2, 1)
 	m.Set(0, 0, 100)
 	m.Set(1, 0, 1)
 	lb, err := LowerBound(m, nil)
@@ -168,7 +168,7 @@ func TestGapErrorsOnInfeasibleClaim(t *testing.T) {
 }
 
 func TestGapZeroCases(t *testing.T) {
-	m := partition.NewChunkMatrix(2, 1) // empty: optimum 0
+	m := partition.MustChunkMatrix(2, 1) // empty: optimum 0
 	lb, ratio, err := Gap(m, nil, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -204,7 +204,7 @@ func TestIndivisibilityFloor(t *testing.T) {
 	// One giant partition spread evenly over 4 nodes: any destination must
 	// ingest 3/4 of it, which the fractional relaxation alone would split
 	// away. The bound must include the indivisibility floor.
-	m := partition.NewChunkMatrix(4, 1)
+	m := partition.MustChunkMatrix(4, 1)
 	for i := 0; i < 4; i++ {
 		m.Set(i, 0, 100)
 	}

@@ -12,7 +12,7 @@ import (
 // certified lower bound on the motivating instance: CCF's T = 3 meets the
 // bound, proving the heuristic optimal here without enumerating anything.
 func ExampleGap() {
-	m := partition.NewChunkMatrix(3, 4)
+	m := partition.MustChunkMatrix(3, 4)
 	m.Set(0, 0, 3)
 	m.Set(2, 0, 1)
 	m.Set(0, 1, 3)

@@ -146,6 +146,40 @@ func (c *Coflow) RefreshSim() {
 	c.sim.live = c.sim.live[:w]
 }
 
+// Reactivate re-enters a previously-Done flow of this coflow into the
+// live-flow cache, used by the failure model when a retransmission policy
+// voids already-delivered bytes. The caller must reset the flow's progress
+// state (Done, Remaining, Rate) before calling; Reactivate only repairs the
+// cache: it re-appends the flow to the live list and restores the per-port
+// counts and port sets. Appending (rather than re-sorting into Flows order)
+// is deliberate — live-flow order never affects scheduler results, and the
+// equivalence-pinned fault-free paths never call Reactivate.
+func (c *Coflow) Reactivate(f *Flow) {
+	if !c.sim.valid {
+		return
+	}
+	c.sim.live = append(c.sim.live, f)
+	if c.sim.egCnt[f.Src] == 0 {
+		c.sim.egPorts = append(c.sim.egPorts, f.Src)
+	}
+	c.sim.egCnt[f.Src]++
+	if c.sim.inCnt[f.Dst] == 0 {
+		c.sim.inPorts = append(c.sim.inPorts, f.Dst)
+	}
+	c.sim.inCnt[f.Dst]++
+}
+
+// CapacityObserver is implemented by schedulers that cache decisions which
+// depend on fabric capacity (e.g. deadline admission control). The event
+// engine notifies observers when a port fails or recovers — not on plain
+// CapacityEvent rescales, whose behavior predates the failure model and is
+// pinned by the refsim equivalence suite.
+type CapacityObserver interface {
+	// CapacityChanged reports that port capacities changed at time now in
+	// a way the scheduler may want to re-evaluate cached state for.
+	CapacityChanged(now float64)
+}
+
 // removePort swap-removes p from the port set. Port-set order never affects
 // results (it feeds max/min reductions and existence checks only).
 func removePort(ports []int, p int) []int {
@@ -335,13 +369,14 @@ func clearDemand(s *allocScratch, egPorts, inPorts []int) {
 	}
 }
 
-// CCT returns the coflow completion time (relative to arrival). It panics
-// if the coflow has not completed; call after the simulation finished.
-func (c *Coflow) CCT() float64 {
+// CCT returns the coflow completion time (relative to arrival). Asking for
+// the CCT of a coflow that has not completed is an error, not a panic, so
+// engines that hit an inconsistent state can propagate it.
+func (c *Coflow) CCT() (float64, error) {
 	if !c.Completed {
-		panic(fmt.Sprintf("coflow: CCT of incomplete coflow %d (%s)", c.ID, c.Name))
+		return 0, fmt.Errorf("coflow: CCT of incomplete coflow %d (%s)", c.ID, c.Name)
 	}
-	return c.Completion - c.Arrival
+	return c.Completion - c.Arrival, nil
 }
 
 // Scheduler assigns rates to the active flows each scheduling epoch.

@@ -81,14 +81,18 @@ func TestBottleneck(t *testing.T) {
 	}
 }
 
-func TestCCTPanicsWhenIncomplete(t *testing.T) {
+func TestCCTErrorsWhenIncomplete(t *testing.T) {
 	c := New(0, "x", 0, []Flow{singleFlow(0, 0, 1, 1)})
-	defer func() {
-		if recover() == nil {
-			t.Error("CCT of incomplete coflow did not panic")
-		}
-	}()
-	_ = c.CCT()
+	if _, err := c.CCT(); err == nil {
+		t.Error("CCT of incomplete coflow returned nil error")
+	}
+	c.Completed = true
+	c.Arrival = 1
+	c.Completion = 3.5
+	cct, err := c.CCT()
+	if err != nil || cct != 2.5 {
+		t.Errorf("CCT = %g, %v; want 2.5, nil", cct, err)
+	}
 }
 
 func testScratch(n int) *allocScratch {

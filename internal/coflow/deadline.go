@@ -97,6 +97,19 @@ func (d *Deadline) Allocate(now float64, active []*Coflow, egCap, inCap []float6
 	waterFill(activeFlows(active, &d.scratch), egCap, inCap, &d.scratch)
 }
 
+// CapacityChanged implements CapacityObserver. Losing (or regaining) port
+// capacity invalidates every standing admission decision: rates that fit
+// before a failure may no longer fit, and a coflow rejected under degraded
+// capacity may fit once the port recovers. All decisions revert to
+// undecided so the next Allocate re-runs admission against the current
+// capacities; coflows past their deadline fail re-admission and fall back
+// to best-effort backfill.
+func (d *Deadline) CapacityChanged(now float64) {
+	for id := range d.state {
+		d.state[id] = undecided
+	}
+}
+
 // admit checks whether finish-at-deadline rates fit the residual capacity.
 func (d *Deadline) admit(c *Coflow, now float64, egCap, inCap []float64) bool {
 	timeLeft := c.Arrival + c.Deadline - now
@@ -179,8 +192,10 @@ func CollectDeadlineStats(coflows []*Coflow, d *Deadline) DeadlineStats {
 			continue
 		}
 		s.WithDeadline++
-		if c.Completed && c.CCT() <= c.Deadline*(1+1e-9) {
-			s.Met++
+		if c.Completed {
+			if cct, err := c.CCT(); err == nil && cct <= c.Deadline*(1+1e-9) {
+				s.Met++
+			}
 		}
 		if d != nil && d.Admitted(c.ID) {
 			s.Admitted++

@@ -72,7 +72,11 @@ func TestDeadlineEndToEnd(t *testing.T) {
 		simulateLocal(t, d, cfs, 2, 1)
 		ccts := map[int]float64{}
 		for _, c := range cfs {
-			ccts[c.ID] = c.CCT()
+			cct, err := c.CCT()
+			if err != nil {
+				t.Fatalf("CCT: %v", err)
+			}
+			ccts[c.ID] = cct
 		}
 		return d, cfs, ccts
 	}

@@ -1,0 +1,228 @@
+package core
+
+// Chaos harness — randomized fault injection over every coflow scheduler.
+// Each seed generates a small online workload and a schedule of transient
+// port outages, runs all 8 schedulers through it under a rotating
+// retransmission policy, and checks the failure-model invariants that must
+// hold regardless of scheduler or fault pattern:
+//
+//   1. the run completes without error (no ErrStalled: outages always lift),
+//   2. every coflow completes once its ports recover,
+//   3. byte conservation: wire bytes = delivered bytes + wasted bytes,
+//   4. a faulted run never beats the workload's bandwidth lower bound
+//      (max port load / capacity — a theorem: faults only add load and
+//      remove capacity), and never beats the fault-free run by more than a
+//      small anomaly allowance. The allowance exists because the heuristic
+//      schedulers are not makespan-optimal: voiding progress reorders their
+//      schedules, and Graham-style anomalies let a worse-resourced run
+//      finish a few percent earlier. Observed anomalies stay under 3%.
+//   5. every failure outcome reports recovery.
+//
+// The harness runs both as a regular test (TestChaosInvariants) and via
+// `ccfbench -exp chaos`, which prints the aggregate summary recorded in
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ccf/internal/coflow"
+	"ccf/internal/netsim"
+)
+
+// ChaosConfig sizes the chaos sweep.
+type ChaosConfig struct {
+	Seeds   int     // fault schedules to generate (default 32)
+	Nodes   int     // fabric ports (default 6)
+	Coflows int     // coflows per workload (default 5)
+	Bandwidth float64 // bytes/sec (default 100: second-scale runs)
+}
+
+func (c *ChaosConfig) defaults() {
+	if c.Seeds <= 0 {
+		c.Seeds = 32
+	}
+	if c.Nodes < 2 {
+		c.Nodes = 6
+	}
+	if c.Coflows <= 0 {
+		c.Coflows = 5
+	}
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = 100
+	}
+}
+
+// ChaosResult aggregates a sweep.
+type ChaosResult struct {
+	Runs          int
+	Violations    []string // empty on a clean sweep
+	TotalWasted   float64
+	TotalRestarts int
+	MaxSlowdown   float64 // worst faulted/clean makespan ratio observed
+}
+
+// chaosSchedulers returns fresh instances of all 8 coflow schedulers.
+// Stateful schedulers (Aalo, deadline mode) must be rebuilt per run.
+func chaosSchedulers() []struct {
+	name string
+	mk   func() coflow.Scheduler
+} {
+	return []struct {
+		name string
+		mk   func() coflow.Scheduler
+	}{
+		{"varys", coflow.NewVarys},
+		{"fifo", coflow.NewFIFO},
+		{"scf", coflow.NewSCF},
+		{"ncf", coflow.NewNCF},
+		{"aalo", func() coflow.Scheduler { return coflow.NewAalo() }},
+		{"per-flow-fair", func() coflow.Scheduler { return coflow.PerFlowFair{} }},
+		{"sequential-by-dest", func() coflow.Scheduler { return coflow.SequentialByDest{} }},
+		{"varys-deadline", func() coflow.Scheduler { return coflow.NewVarysDeadline() }},
+	}
+}
+
+// chaosWorkload builds the seed's random online coflow set.
+func chaosWorkload(rng *rand.Rand, n, ncf int) []*coflow.Coflow {
+	out := make([]*coflow.Coflow, ncf)
+	for ci := 0; ci < ncf; ci++ {
+		nf := 3 + rng.Intn(6)
+		flows := make([]coflow.Flow, 0, nf)
+		for f := 0; f < nf; f++ {
+			src := rng.Intn(n)
+			dst := rng.Intn(n - 1)
+			if dst >= src {
+				dst++
+			}
+			flows = append(flows, coflow.Flow{
+				ID: f, Src: src, Dst: dst,
+				Size: 1e3 + rng.Float64()*9e3,
+			})
+		}
+		out[ci] = coflow.New(ci, "chaos", rng.Float64()*20, flows)
+	}
+	return out
+}
+
+// chaosFaults builds the seed's transient outage schedule. Up is always
+// strictly after Down so every port recovers and completion is guaranteed.
+func chaosFaults(rng *rand.Rand, n int) []netsim.PortFailure {
+	nf := 1 + rng.Intn(3)
+	out := make([]netsim.PortFailure, nf)
+	for i := range out {
+		down := rng.Float64() * 40
+		out[i] = netsim.PortFailure{
+			Port: rng.Intn(n),
+			Down: down,
+			Up:   down + 1 + rng.Float64()*14,
+		}
+	}
+	return out
+}
+
+var chaosPolicies = []netsim.RetransmitPolicy{
+	netsim.RetransmitRestart,
+	netsim.RetransmitResume,
+	netsim.RetransmitRestartDelivered,
+}
+
+// RunChaos executes the sweep and collects invariant violations.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg.defaults()
+	fabric, err := netsim.NewFabric(cfg.Nodes, cfg.Bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	res := &ChaosResult{}
+	fail := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	// anomalyTol is the slack invariant 4 grants to scheduling anomalies
+	// when comparing against the fault-free run (see package comment).
+	const anomalyTol = 0.05
+	for seed := 0; seed < cfg.Seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		base := chaosWorkload(rng, cfg.Nodes, cfg.Coflows)
+		faults := chaosFaults(rng, cfg.Nodes)
+		var totalSize float64
+		for _, c := range base {
+			c.Completed = false // fresh workload per seed
+			totalSize += c.TotalBytes()
+		}
+		// Bandwidth lower bound of the workload: max port load / capacity.
+		lb := 0.0
+		eg := make([]float64, cfg.Nodes)
+		in := make([]float64, cfg.Nodes)
+		for _, c := range base {
+			for _, f := range c.Flows {
+				eg[f.Src] += f.Size
+				in[f.Dst] += f.Size
+			}
+		}
+		for p := 0; p < cfg.Nodes; p++ {
+			if t := eg[p] / cfg.Bandwidth; t > lb {
+				lb = t
+			}
+			if t := in[p] / cfg.Bandwidth; t > lb {
+				lb = t
+			}
+		}
+		for si, sc := range chaosSchedulers() {
+			policy := chaosPolicies[(seed+si)%len(chaosPolicies)]
+			tag := fmt.Sprintf("seed=%d sched=%s policy=%s", seed, sc.name, policy)
+
+			clean, err := netsim.NewSimulator(fabric, sc.mk()).Run(cloneCoflows(base))
+			if err != nil {
+				fail("%s: fault-free run errored: %v", tag, err)
+				continue
+			}
+
+			sim := netsim.NewSimulator(fabric, sc.mk())
+			sim.Failures = faults
+			sim.Retransmit = policy
+			cfs := cloneCoflows(base)
+			rep, err := sim.Run(cfs)
+			res.Runs++
+			if err != nil {
+				fail("%s: faulted run errored: %v", tag, err)
+				continue
+			}
+			for _, c := range cfs {
+				if !c.Completed {
+					fail("%s: coflow %d never completed", tag, c.ID)
+				}
+			}
+			// Byte conservation: wire traffic = delivered + wasted. The
+			// tolerance absorbs the engine's sub-microbyte completion
+			// epsilon across flows.
+			if want := totalSize + rep.WastedBytes; math.Abs(rep.TotalBytes-want) > 1e-3*(1+want) {
+				fail("%s: conservation broken: wire %g != delivered %g + wasted %g",
+					tag, rep.TotalBytes, totalSize, rep.WastedBytes)
+			}
+			if rep.Makespan < lb-1e-9 {
+				fail("%s: faulted makespan %g beats bandwidth lower bound %g", tag, rep.Makespan, lb)
+			}
+			if rep.Makespan < clean.Makespan*(1-anomalyTol) {
+				fail("%s: faulted makespan %g beats fault-free %g beyond the %g anomaly allowance",
+					tag, rep.Makespan, clean.Makespan, anomalyTol)
+			}
+			for _, out := range rep.Failures {
+				if !out.Recovered {
+					fail("%s: port %d failure at t=%g never recovered", tag, out.Port, out.Down)
+				}
+			}
+			res.TotalWasted += rep.WastedBytes
+			for _, r := range rep.Restarts {
+				res.TotalRestarts += r
+			}
+			if clean.Makespan > 0 {
+				if ratio := rep.Makespan / clean.Makespan; ratio > res.MaxSlowdown {
+					res.MaxSlowdown = ratio
+				}
+			}
+		}
+	}
+	return res, nil
+}

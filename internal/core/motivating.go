@@ -31,7 +31,7 @@ var MotivatingKeys = []int64{0, 1, 2, 5}
 // per tuple (the paper counts cost in tuples; any uniform payload scales
 // identically).
 func MotivatingMatrix() *partition.ChunkMatrix {
-	m := partition.NewChunkMatrix(3, 4)
+	m := partition.MustChunkMatrix(3, 4)
 	// partitions: 0 → key 0, 1 → key 1, 2 → key 2, 3 → key 5
 	m.Set(0, 0, 3) // 0³ on node 0
 	m.Set(2, 0, 1) // 0¹ on node 2

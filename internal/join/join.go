@@ -97,8 +97,11 @@ func (c *Cluster) LoadByPlacement(left bool, r *Relation, place func(i int, t Tu
 
 // ChunkMatrix derives h_ik (bytes per node per partition, both relations
 // combined) from the cluster's current state.
-func (c *Cluster) ChunkMatrix() *partition.ChunkMatrix {
-	m := partition.NewChunkMatrix(c.N, c.Part.P())
+func (c *Cluster) ChunkMatrix() (*partition.ChunkMatrix, error) {
+	m, err := partition.NewChunkMatrix(c.N, c.Part.P())
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < c.N; i++ {
 		for _, t := range c.Left[i] {
 			m.Add(i, c.Part.Partition(t.Key), t.Payload)
@@ -107,7 +110,7 @@ func (c *Cluster) ChunkMatrix() *partition.ChunkMatrix {
 			m.Add(i, c.Part.Partition(t.Key), t.Payload)
 		}
 	}
-	return m
+	return m, nil
 }
 
 // Options configures a distributed join execution.
@@ -190,7 +193,10 @@ func Execute(c *Cluster, opts Options) (*Result, error) {
 	}
 
 	// --- Build the adjusted chunk matrix and broadcast volumes. ---
-	m := partition.NewChunkMatrix(n, p)
+	m, err := partition.NewChunkMatrix(n, p)
+	if err != nil {
+		return nil, err
+	}
 	initial := &partition.Loads{Egress: make([]int64, n), Ingress: make([]int64, n)}
 	broadcast := make([]int64, n*n)
 	for i := 0; i < n; i++ {

@@ -65,7 +65,10 @@ func TestClusterChunkMatrix(t *testing.T) {
 	c := NewCluster(2, part)
 	c.Left[0] = []Tuple{{Key: 1, Payload: 10}, {Key: 5, Payload: 10}} // both partition 1
 	c.Right[1] = []Tuple{{Key: 2, Payload: 20}}                       // partition 2
-	m := c.ChunkMatrix()
+	m, err := c.ChunkMatrix()
+	if err != nil {
+		t.Fatalf("ChunkMatrix: %v", err)
+	}
 	if m.At(0, 1) != 20 {
 		t.Errorf("h[0][1] = %d, want 20", m.At(0, 1))
 	}

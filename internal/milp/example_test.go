@@ -11,7 +11,7 @@ import (
 // motivating instance: T = 3, strictly better than the traffic-minimal
 // plan's bottleneck of 4.
 func ExampleSolve() {
-	m := partition.NewChunkMatrix(3, 4)
+	m := partition.MustChunkMatrix(3, 4)
 	m.Set(0, 0, 3)
 	m.Set(2, 0, 1)
 	m.Set(0, 1, 3)

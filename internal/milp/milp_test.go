@@ -37,7 +37,7 @@ func bruteForce(m *partition.ChunkMatrix, initial *partition.Loads) int64 {
 }
 
 func randomInstance(rng *rand.Rand, n, p, maxChunk int) *partition.ChunkMatrix {
-	m := partition.NewChunkMatrix(n, p)
+	m := partition.MustChunkMatrix(n, p)
 	for i := range m.H {
 		m.H[i] = int64(rng.Intn(maxChunk))
 	}
@@ -180,7 +180,7 @@ func TestExplorationCapReturnsFeasible(t *testing.T) {
 }
 
 func TestSolveSingleNode(t *testing.T) {
-	m := partition.NewChunkMatrix(1, 3)
+	m := partition.MustChunkMatrix(1, 3)
 	m.Set(0, 0, 5)
 	m.Set(0, 1, 7)
 	res, err := Solve(m, nil, Options{})
@@ -196,7 +196,7 @@ func TestSolveSingleNode(t *testing.T) {
 }
 
 func TestSolveZeroMatrix(t *testing.T) {
-	m := partition.NewChunkMatrix(3, 4)
+	m := partition.MustChunkMatrix(3, 4)
 	res, err := Solve(m, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -207,12 +207,12 @@ func TestSolveZeroMatrix(t *testing.T) {
 }
 
 func TestSolveRejectsBadInputs(t *testing.T) {
-	m := partition.NewChunkMatrix(2, 2)
+	m := partition.MustChunkMatrix(2, 2)
 	m.Set(0, 0, -1)
 	if _, err := Solve(m, nil, Options{}); err == nil {
 		t.Error("Solve accepted a negative chunk")
 	}
-	m2 := partition.NewChunkMatrix(2, 2)
+	m2 := partition.MustChunkMatrix(2, 2)
 	bad := &partition.Loads{Egress: []int64{1}, Ingress: []int64{1, 2}}
 	if _, err := Solve(m2, bad, Options{}); err == nil {
 		t.Error("Solve accepted mis-sized initial loads")
@@ -222,7 +222,7 @@ func TestSolveRejectsBadInputs(t *testing.T) {
 func TestMotivatingInstanceOptimum(t *testing.T) {
 	// The 3-node example of the paper's Figure 1: optimal T must be 3
 	// (SP1's bottleneck), strictly better than the traffic-optimal SP2's 4.
-	m := partition.NewChunkMatrix(3, 4)
+	m := partition.MustChunkMatrix(3, 4)
 	m.Set(0, 0, 3)
 	m.Set(2, 0, 1)
 	m.Set(0, 1, 3)

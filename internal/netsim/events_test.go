@@ -76,6 +76,48 @@ func TestPermanentOutageStalls(t *testing.T) {
 	}
 }
 
+func TestCapacityEventFullOutageAtTimeZero(t *testing.T) {
+	// The port is dead from the very first instant: nothing moves until
+	// the repair at t=3, then 10 bytes at 1 B/s ⇒ CCT 13.
+	c := mkCoflow(0, 0, [3]float64{0, 1, 10})
+	fab, _ := NewFabric(2, 1)
+	sim := NewSimulator(fab, coflow.NewVarys())
+	sim.Events = []CapacityEvent{
+		{Time: 0, Port: 1, EgressFactor: 1, IngressFactor: 0},
+		{Time: 3, Port: 1, EgressFactor: 1, IngressFactor: 1},
+	}
+	rep, err := sim.Run([]*coflow.Coflow{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.CCTs[0]-13) > 1e-9 {
+		t.Errorf("CCT with t=0 outage = %g, want 13", rep.CCTs[0])
+	}
+}
+
+func TestCapacityEventDuplicateTimestamps(t *testing.T) {
+	// Two events at the same instant on the same port: the stable sort
+	// keeps input order, so the later entry wins (factor 1 here — the 0.25
+	// entry must not survive). A same-time event on another port applies
+	// independently.
+	c := mkCoflow(0, 0, [3]float64{0, 1, 10})
+	fab, _ := NewFabric(2, 1)
+	sim := NewSimulator(fab, coflow.NewVarys())
+	sim.Events = []CapacityEvent{
+		{Time: 5, Port: 1, EgressFactor: 1, IngressFactor: 0.25},
+		{Time: 5, Port: 1, EgressFactor: 1, IngressFactor: 0.5},
+		{Time: 5, Port: 0, EgressFactor: 1, IngressFactor: 1},
+	}
+	rep, err := sim.Run([]*coflow.Coflow{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 bytes by t=5, then 5 bytes at 0.5 B/s ⇒ CCT 15.
+	if math.Abs(rep.CCTs[0]-15) > 1e-9 {
+		t.Errorf("CCT with duplicate-time events = %g, want 15", rep.CCTs[0])
+	}
+}
+
 func TestCapacityEventValidation(t *testing.T) {
 	c := mkCoflow(0, 0, [3]float64{0, 1, 10})
 	fab, _ := NewFabric(2, 1)

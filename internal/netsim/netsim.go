@@ -92,10 +92,21 @@ type Report struct {
 	// AvgCCT and MaxCCT aggregate over coflows.
 	AvgCCT float64
 	MaxCCT float64
-	// TotalBytes moved across the network.
+	// TotalBytes moved across the network, including bytes whose progress
+	// a failure later voided — the wire traffic. For a run that finishes,
+	// TotalBytes = Σ flow sizes + WastedBytes (byte conservation).
 	TotalBytes float64
 	// Epochs counts scheduler invocations (simulation cost metric).
 	Epochs int
+	// WastedBytes is the transfer progress voided by port failures (zero
+	// in fault-free runs and under RetransmitResume).
+	WastedBytes float64
+	// Restarts maps coflow ID to the number of flow restarts failures
+	// forced on it. Nil until a failure actually voids progress.
+	Restarts map[int]int
+	// Failures holds one outcome per configured PortFailure, in input
+	// order. Empty when the simulator has no failures scheduled.
+	Failures []FailureOutcome
 }
 
 // ErrStalled is returned when active flows exist but the scheduler assigns
@@ -130,6 +141,15 @@ type Simulator struct {
 	// stage's shuffle coflow releases when the previous stage finishes.
 	// Cycles and unknown IDs are reported as errors.
 	Deps map[int][]int
+	// Failures schedules port outages (capacity → 0 over an interval, or
+	// forever). Unlike Events, a failure can void completed work per the
+	// Retransmit policy; see PortFailure. When empty, the failure
+	// machinery is entirely inert and the run is bit-identical to the
+	// fault-free engine.
+	Failures []PortFailure
+	// Retransmit selects what a failure does to bytes already carried
+	// through the failed port (default RetransmitRestart).
+	Retransmit RetransmitPolicy
 
 	// scratch holds the per-run buffers so repeated Runs (parameter sweeps,
 	// the online co-optimizer's probes, benchmarks) reuse storage instead of
@@ -152,6 +172,8 @@ type runScratch struct {
 	dirty        []*coflow.Coflow // coflows with completions this epoch
 	completed    map[int]bool
 	known        map[int]bool
+	downCnt      []int            // per-port count of outages covering now
+	failEv       []failTransition // time-sorted failure edges
 }
 
 // CapacityEvent rescales one port's capacities at a point in time. Factors
@@ -269,17 +291,54 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 	egCap, inCap := sc.egCap[:ports], sc.inCap[:ports]
 	egUse, inUse := sc.egUse[:ports], sc.inUse[:ports]
 
+	// Failure schedule: expand each outage into time-sorted down/up edges.
+	// A stale down-counter from a previous faulted run must never leak into
+	// this one, so the counter is cleared unconditionally (cheap, and free
+	// of float effects on the equivalence-pinned fault-free path).
+	haveFail := len(s.Failures) > 0
+	downCnt := sc.downCnt[:ports]
+	for p := range downCnt {
+		downCnt[p] = 0
+	}
+	failEv := sc.failEv[:0]
+	if haveFail {
+		for i, pf := range s.Failures {
+			if pf.Port < 0 || pf.Port >= ports {
+				return fmt.Errorf("netsim: failure targets port %d outside fabric of %d ports", pf.Port, ports)
+			}
+			if pf.Down < 0 {
+				return fmt.Errorf("netsim: failure of port %d has negative down time %g", pf.Port, pf.Down)
+			}
+			failEv = append(failEv, failTransition{time: pf.Down, port: pf.Port, up: false, out: i})
+			if !pf.Permanent() {
+				failEv = append(failEv, failTransition{time: pf.Up, port: pf.Port, up: true, out: i})
+			}
+		}
+		sortFailTransitions(failEv)
+		sc.failEv = failEv
+	}
+	nextFail := 0
+	obs, _ := s.sched.(coflow.CapacityObserver)
+
 	active := sc.active[:0]
 	defer func() { sc.active = active[:0] }()
 	now := 0.0
 	if len(pending) > 0 {
 		now = pending[0].Arrival
 	}
-	*rep = Report{CCTs: rep.CCTs}
+	*rep = Report{CCTs: rep.CCTs, Restarts: rep.Restarts, Failures: rep.Failures[:0]}
 	if rep.CCTs == nil {
 		rep.CCTs = make(map[int]float64, len(coflows))
 	} else {
 		clear(rep.CCTs)
+	}
+	if rep.Restarts != nil {
+		clear(rep.Restarts)
+	}
+	for _, pf := range s.Failures {
+		rep.Failures = append(rep.Failures, FailureOutcome{
+			Port: pf.Port, Down: pf.Down, Up: pf.Up, Permanent: pf.Permanent(),
+		})
 	}
 
 	// liveFlows is the flat list of non-done flows of the active coflows,
@@ -315,6 +374,23 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 			egFac[ev.Port] = ev.EgressFactor
 			inFac[ev.Port] = ev.IngressFactor
 		}
+		// Apply due failure edges. Down edges void progress per the
+		// retransmission policy and may re-enter delivered flows into the
+		// live set; both edges invalidate capacity-dependent scheduler
+		// state (deadline admissions).
+		for nextFail < len(failEv) && failEv[nextFail].time <= now+1e-12 {
+			tr := failEv[nextFail]
+			nextFail++
+			if tr.up {
+				downCnt[tr.port]--
+			} else {
+				downCnt[tr.port]++
+				liveFlows = s.applyPortDown(tr, active, liveFlows, rep)
+			}
+			if obs != nil {
+				obs.CapacityChanged(now)
+			}
+		}
 		// Retire completed coflows (O(1) per coflow via the live-flow cache).
 		liveCF := active[:0]
 		for _, c := range active {
@@ -323,7 +399,11 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 					c.Completed = true
 					c.Completion = now
 					completed[c.ID] = true
-					rep.CCTs[c.ID] = c.CCT()
+					cct, err := c.CCT()
+					if err != nil {
+						return err
+					}
+					rep.CCTs[c.ID] = cct
 				}
 				continue
 			}
@@ -369,6 +449,13 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 			inCap[p] = s.fabric.IngressCap[p] * inFac[p]
 			egUse[p], inUse[p] = 0, 0
 		}
+		if haveFail {
+			for p, d := range downCnt {
+				if d > 0 {
+					egCap[p], inCap[p] = 0, 0
+				}
+			}
+		}
 		s.sched.Allocate(now, active, egCap, inCap)
 
 		// One fused pass over the flat live-flow list: validate rates,
@@ -395,6 +482,9 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 		for p := 0; p < ports; p++ {
 			egLim := s.fabric.EgressCap[p] * egFac[p] * tol
 			inLim := s.fabric.IngressCap[p] * inFac[p] * tol
+			if haveFail && downCnt[p] > 0 {
+				egLim, inLim = 0, 0
+			}
 			if egUse[p] > egLim+tolAbs || inUse[p] > inLim+tolAbs {
 				return fmt.Errorf("netsim: scheduler %q oversubscribed port %d (eg=%.3g/%.3g in=%.3g/%.3g)",
 					s.sched.Name(), p, egUse[p], egLim, inUse[p], inLim)
@@ -415,6 +505,11 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 		}
 		if len(events) > 0 {
 			if t := events[0].Time - now; t < dt {
+				dt = t
+			}
+		}
+		if nextFail < len(failEv) {
+			if t := failEv[nextFail].time - now; t < dt {
 				dt = t
 			}
 		}
@@ -476,7 +571,95 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 	if len(rep.CCTs) > 0 {
 		rep.AvgCCT /= float64(len(rep.CCTs))
 	}
+	if haveFail {
+		finalizeFailures(rep, coflows)
+	}
 	return nil
+}
+
+// applyPortDown handles the down edge of a failure: void progress per the
+// retransmission policy, account waste, and (under restart-delivered)
+// re-enter delivered flows of in-flight coflows into the live set. Returns
+// the (possibly extended) flat live-flow list.
+func (s *Simulator) applyPortDown(tr failTransition, active []*coflow.Coflow,
+	liveFlows []*coflow.Flow, rep *Report) []*coflow.Flow {
+	out := &rep.Failures[tr.out]
+	if s.Retransmit == RetransmitResume {
+		// Checkpointed transfers: nothing is lost, flows wait out the
+		// outage. Count them so the outcome still reflects the blast
+		// radius.
+		for _, f := range liveFlows {
+			if f.Src == tr.port || f.Dst == tr.port {
+				out.FlowsHit++
+			}
+		}
+		return liveFlows
+	}
+	for _, f := range liveFlows {
+		if f.Src != tr.port && f.Dst != tr.port {
+			continue
+		}
+		out.FlowsHit++
+		if prog := f.Size - f.Remaining; prog > 0 {
+			out.WastedBytes += prog
+			rep.WastedBytes += prog
+			f.Remaining = f.Size
+			bumpRestart(rep, f.Coflow.ID)
+		}
+	}
+	if s.Retransmit == RetransmitRestartDelivered {
+		// Receiver storage loss: deliveries INTO the failed port are
+		// gone and must be re-sent. Flows sent FROM the port keep their
+		// delivery — the data lives at the destination. Only in-flight
+		// coflows are affected; completed ones are out of scope.
+		for _, c := range active {
+			for _, f := range c.Flows {
+				if !f.Done || f.Dst != tr.port || f.Size <= 0 {
+					continue
+				}
+				out.FlowsHit++
+				out.WastedBytes += f.Size
+				rep.WastedBytes += f.Size
+				f.Done = false
+				f.Remaining = f.Size
+				f.Rate = 0
+				f.EndTime = 0
+				c.Reactivate(f)
+				liveFlows = append(liveFlows, f)
+				bumpRestart(rep, c.ID)
+			}
+		}
+	}
+	return liveFlows
+}
+
+// finalizeFailures fills the recovery fields of each outcome after the run:
+// whether every sized flow touching the port finished, and how long after
+// the down edge the last one did.
+func finalizeFailures(rep *Report, coflows []*coflow.Coflow) {
+	for i := range rep.Failures {
+		out := &rep.Failures[i]
+		recovered := true
+		var ttr float64
+		for _, c := range coflows {
+			for _, f := range c.Flows {
+				if f.Size <= 0 || (f.Src != out.Port && f.Dst != out.Port) {
+					continue
+				}
+				if !f.Done {
+					recovered = false
+					continue
+				}
+				if t := f.EndTime - out.Down; t > ttr {
+					ttr = t
+				}
+			}
+		}
+		out.Recovered = recovered
+		if recovered {
+			out.TimeToRecovery = ttr
+		}
+	}
 }
 
 // ensurePorts sizes the per-port scratch for the fabric (grow-only).
@@ -490,6 +673,7 @@ func (sc *runScratch) ensurePorts(n int) {
 	sc.inCap = make([]float64, n)
 	sc.egUse = make([]float64, n)
 	sc.inUse = make([]float64, n)
+	sc.downCnt = make([]int, n)
 }
 
 // sortEventsByTime stable-sorts capacity events by time without allocating

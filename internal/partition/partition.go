@@ -24,13 +24,24 @@ type ChunkMatrix struct {
 }
 
 // NewChunkMatrix allocates an all-zero chunk matrix for n nodes and p
-// partitions. It panics if n or p is not positive, since a zero-dimension
-// matrix is always a caller bug.
-func NewChunkMatrix(n, p int) *ChunkMatrix {
+// partitions. Non-positive dimensions are an error, not a panic, so callers
+// deriving n or p from external input (traces, query plans, CLI flags) can
+// propagate the failure.
+func NewChunkMatrix(n, p int) (*ChunkMatrix, error) {
 	if n <= 0 || p <= 0 {
-		panic(fmt.Sprintf("partition: invalid chunk matrix dimensions n=%d p=%d", n, p))
+		return nil, fmt.Errorf("partition: invalid chunk matrix dimensions n=%d p=%d", n, p)
 	}
-	return &ChunkMatrix{N: n, P: p, H: make([]int64, n*p)}
+	return &ChunkMatrix{N: n, P: p, H: make([]int64, n*p)}, nil
+}
+
+// MustChunkMatrix is NewChunkMatrix for statically-known dimensions (tests,
+// examples, literal matrices); it panics on invalid input.
+func MustChunkMatrix(n, p int) *ChunkMatrix {
+	m, err := NewChunkMatrix(n, p)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // At returns h_ik, the bytes of partition k on node i.
@@ -102,7 +113,7 @@ func (m *ChunkMatrix) MaxChunk() (size []int64, node []int) {
 
 // Clone returns a deep copy of the matrix.
 func (m *ChunkMatrix) Clone() *ChunkMatrix {
-	c := NewChunkMatrix(m.N, m.P)
+	c := &ChunkMatrix{N: m.N, P: m.P, H: make([]int64, len(m.H))}
 	copy(c.H, m.H)
 	return c
 }

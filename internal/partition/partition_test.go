@@ -9,7 +9,7 @@ import (
 
 func mustMatrix(t *testing.T, n, p int, vals ...int64) *ChunkMatrix {
 	t.Helper()
-	m := NewChunkMatrix(n, p)
+	m := MustChunkMatrix(n, p)
 	if len(vals) != n*p {
 		t.Fatalf("test bug: %d values for %dx%d matrix", len(vals), n, p)
 	}
@@ -17,21 +17,27 @@ func mustMatrix(t *testing.T, n, p int, vals ...int64) *ChunkMatrix {
 	return m
 }
 
-func TestNewChunkMatrixPanicsOnBadDims(t *testing.T) {
+func TestNewChunkMatrixBadDims(t *testing.T) {
 	for _, tc := range []struct{ n, p int }{{0, 1}, {1, 0}, {-1, 5}, {5, -1}} {
+		if m, err := NewChunkMatrix(tc.n, tc.p); err == nil {
+			t.Errorf("NewChunkMatrix(%d,%d) = %v, want error", tc.n, tc.p, m)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("NewChunkMatrix(%d,%d) did not panic", tc.n, tc.p)
+					t.Errorf("MustChunkMatrix(%d,%d) did not panic", tc.n, tc.p)
 				}
 			}()
-			NewChunkMatrix(tc.n, tc.p)
+			MustChunkMatrix(tc.n, tc.p)
 		}()
+	}
+	if m, err := NewChunkMatrix(2, 3); err != nil || m.N != 2 || m.P != 3 || len(m.H) != 6 {
+		t.Errorf("NewChunkMatrix(2,3) = %v, %v", m, err)
 	}
 }
 
 func TestChunkMatrixAccessors(t *testing.T) {
-	m := NewChunkMatrix(2, 3)
+	m := MustChunkMatrix(2, 3)
 	m.Set(0, 1, 10)
 	m.Add(0, 1, 5)
 	m.Set(1, 2, 7)
@@ -107,7 +113,7 @@ func TestValidateCatchesNegativeChunk(t *testing.T) {
 }
 
 func TestValidateCatchesBadStorage(t *testing.T) {
-	m := NewChunkMatrix(2, 2)
+	m := MustChunkMatrix(2, 2)
 	m.H = m.H[:3]
 	if err := m.Validate(); err == nil {
 		t.Error("Validate accepted truncated storage")
@@ -211,7 +217,7 @@ func TestTrafficEqualsFlowVolumeSum(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(5)
 		p := 1 + rng.Intn(10)
-		m := NewChunkMatrix(n, p)
+		m := MustChunkMatrix(n, p)
 		for i := range m.H {
 			m.H[i] = int64(rng.Intn(100))
 		}
@@ -248,7 +254,7 @@ func TestEgressIngressConservation(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(6)
 		p := 1 + rng.Intn(12)
-		m := NewChunkMatrix(n, p)
+		m := MustChunkMatrix(n, p)
 		for i := range m.H {
 			m.H[i] = int64(rng.Intn(50))
 		}

@@ -11,7 +11,7 @@ import (
 // CCF recovers the co-optimal plan SP1 — one more tuple of traffic than the
 // traffic-minimal plan, but a bottleneck of 3 instead of 4.
 func ExampleCCF() {
-	m := partition.NewChunkMatrix(3, 4)
+	m := partition.MustChunkMatrix(3, 4)
 	m.Set(0, 0, 3) // key 0: 3 tuples on node 0 ...
 	m.Set(2, 0, 1)
 	m.Set(0, 1, 3)
@@ -37,7 +37,7 @@ func ExampleCCF() {
 // Refine improves any feasible placement by relocating one partition at a
 // time; here it repairs a pathological everything-on-node-0 plan.
 func ExampleRefine() {
-	m := partition.NewChunkMatrix(4, 4)
+	m := partition.MustChunkMatrix(4, 4)
 	for k := 0; k < 4; k++ {
 		for i := 0; i < 4; i++ {
 			m.Set(i, k, 10)

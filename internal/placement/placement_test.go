@@ -10,7 +10,7 @@ import (
 )
 
 func randomMatrix(rng *rand.Rand, n, p, maxChunk int) *partition.ChunkMatrix {
-	m := partition.NewChunkMatrix(n, p)
+	m := partition.MustChunkMatrix(n, p)
 	for i := range m.H {
 		m.H[i] = int64(rng.Intn(maxChunk))
 	}
@@ -18,7 +18,7 @@ func randomMatrix(rng *rand.Rand, n, p, maxChunk int) *partition.ChunkMatrix {
 }
 
 func TestHashPlacement(t *testing.T) {
-	m := partition.NewChunkMatrix(3, 7)
+	m := partition.MustChunkMatrix(3, 7)
 	pl, err := Hash{}.Place(m, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +31,7 @@ func TestHashPlacement(t *testing.T) {
 }
 
 func TestMiniKeepsLargestChunkLocal(t *testing.T) {
-	m := partition.NewChunkMatrix(3, 2)
+	m := partition.MustChunkMatrix(3, 2)
 	m.Set(0, 0, 5)
 	m.Set(1, 0, 9)
 	m.Set(2, 1, 4)
@@ -171,7 +171,7 @@ func TestCCFBeatsHashAndMiniOnAlignedZipf(t *testing.T) {
 	// On the paper's rank-aligned data CCF must dominate both baselines.
 	rng := rand.New(rand.NewSource(3))
 	n, p := 12, 60
-	m := partition.NewChunkMatrix(n, p)
+	m := partition.MustChunkMatrix(n, p)
 	for k := 0; k < p; k++ {
 		base := 1000 + rng.Intn(100)
 		for i := 0; i < n; i++ {
@@ -232,7 +232,7 @@ func TestCCFAccountsForInitialLoads(t *testing.T) {
 	// pre-existing ingress on node 0... it still stays (ingress only grows
 	// at the destination by remote bytes = 0). But with huge pre-existing
 	// egress on node 1 and the chunk on node 1, CCF must keep it local.
-	m := partition.NewChunkMatrix(2, 1)
+	m := partition.MustChunkMatrix(2, 1)
 	m.Set(0, 0, 10)
 	pl, err := CCF{}.Place(m, nil)
 	if err != nil {
@@ -255,7 +255,7 @@ func TestCCFAccountsForInitialLoads(t *testing.T) {
 
 	// Three nodes; partition spread over nodes 0 and 1. Node 1 has large
 	// initial ingress, so CCF should prefer node 0 as destination.
-	m2 := partition.NewChunkMatrix(3, 1)
+	m2 := partition.MustChunkMatrix(3, 1)
 	m2.Set(0, 0, 10)
 	m2.Set(1, 0, 10)
 	init2 := &partition.Loads{Egress: []int64{0, 0, 0}, Ingress: []int64{0, 50, 0}}
@@ -269,7 +269,7 @@ func TestCCFAccountsForInitialLoads(t *testing.T) {
 }
 
 func TestCCFRejectsBadInitial(t *testing.T) {
-	m := partition.NewChunkMatrix(2, 1)
+	m := partition.MustChunkMatrix(2, 1)
 	_, err := CCF{}.Place(m, &partition.Loads{Egress: []int64{1}, Ingress: []int64{1, 2}})
 	if err == nil {
 		t.Error("CCF accepted mis-sized initial loads")
@@ -284,7 +284,7 @@ func TestSortOrderMatters(t *testing.T) {
 	worseCount := 0
 	for trial := 0; trial < 50; trial++ {
 		n, p := 4, 20
-		m := partition.NewChunkMatrix(n, p)
+		m := partition.MustChunkMatrix(n, p)
 		for k := 0; k < p; k++ {
 			base := 1 << uint(rng.Intn(10))
 			for i := 0; i < n; i++ {
@@ -309,7 +309,7 @@ func TestSortOrderMatters(t *testing.T) {
 }
 
 func TestRandomPlacementValidAndDeterministic(t *testing.T) {
-	m := partition.NewChunkMatrix(5, 40)
+	m := partition.MustChunkMatrix(5, 40)
 	a, err := Random{Seed: 9}.Place(m, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -339,7 +339,7 @@ func TestRandomPlacementValidAndDeterministic(t *testing.T) {
 func TestLPTBalancesIngress(t *testing.T) {
 	// Equal-size partitions on a cold cluster: LPT spreads them 1 per node.
 	n, p := 4, 4
-	m := partition.NewChunkMatrix(n, p)
+	m := partition.MustChunkMatrix(n, p)
 	for k := 0; k < p; k++ {
 		for i := 0; i < n; i++ {
 			m.Set(i, k, 10)

@@ -112,7 +112,7 @@ func TestRefineRespectsBudgets(t *testing.T) {
 }
 
 func TestRefineRejectsBadInputs(t *testing.T) {
-	m := partition.NewChunkMatrix(3, 2)
+	m := partition.MustChunkMatrix(3, 2)
 	if _, err := Refine(m, partition.NewPlacement(2), nil, RefineOptions{}); err == nil {
 		t.Error("accepted an unassigned placement")
 	}

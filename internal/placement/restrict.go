@@ -1,0 +1,88 @@
+package placement
+
+// Restricted adapts any placement scheduler to a degraded cluster: after a
+// permanent node loss, partitions may only be re-placed onto surviving
+// nodes. It compacts the chunk matrix down to the allowed rows, runs the
+// inner scheduler over that smaller cluster, and maps the destinations back
+// to original node indices — so CCF's bottleneck reasoning (and the initial
+// loads describing the survivors' residual backlog) applies unchanged to
+// the residual problem.
+
+import (
+	"fmt"
+
+	"ccf/internal/partition"
+)
+
+// Restricted wraps Inner so it only places partitions onto nodes with
+// Allowed[i] == true. Rows of the chunk matrix belonging to disallowed
+// nodes must be all-zero: a dead node cannot act as a source either (its
+// chunks are gone — account for them before building the residual matrix).
+type Restricted struct {
+	Inner   Scheduler
+	Allowed []bool
+}
+
+// Name implements Scheduler.
+func (r Restricted) Name() string { return r.Inner.Name() + "+restricted" }
+
+// Place implements Scheduler.
+func (r Restricted) Place(m *partition.ChunkMatrix, initial *partition.Loads) (*partition.Placement, error) {
+	if len(r.Allowed) != m.N {
+		return nil, fmt.Errorf("placement: restricted mask covers %d nodes, matrix has %d", len(r.Allowed), m.N)
+	}
+	// survivors[s] is the original index of compact row s.
+	survivors := make([]int, 0, m.N)
+	for i, ok := range r.Allowed {
+		if ok {
+			survivors = append(survivors, i)
+		}
+	}
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("placement: restricted mask allows no nodes")
+	}
+	for i, ok := range r.Allowed {
+		if ok {
+			continue
+		}
+		for _, v := range m.Row(i) {
+			if v != 0 {
+				return nil, fmt.Errorf("placement: disallowed node %d still holds chunks", i)
+			}
+		}
+	}
+	sub, err := partition.NewChunkMatrix(len(survivors), m.P)
+	if err != nil {
+		return nil, err
+	}
+	for s, i := range survivors {
+		copy(sub.Row(s), m.Row(i))
+	}
+	var subInit *partition.Loads
+	if initial != nil {
+		if len(initial.Egress) != m.N || len(initial.Ingress) != m.N {
+			return nil, fmt.Errorf("placement: initial loads sized %d/%d, matrix has %d nodes",
+				len(initial.Egress), len(initial.Ingress), m.N)
+		}
+		subInit = &partition.Loads{
+			Egress:  make([]int64, len(survivors)),
+			Ingress: make([]int64, len(survivors)),
+		}
+		for s, i := range survivors {
+			subInit.Egress[s] = initial.Egress[i]
+			subInit.Ingress[s] = initial.Ingress[i]
+		}
+	}
+	subPl, err := r.Inner.Place(sub, subInit)
+	if err != nil {
+		return nil, err
+	}
+	if err := subPl.Validate(sub.N, sub.P); err != nil {
+		return nil, fmt.Errorf("placement: inner scheduler %s produced invalid placement: %w", r.Inner.Name(), err)
+	}
+	pl := partition.NewPlacement(m.P)
+	for k, d := range subPl.Dest {
+		pl.Dest[k] = survivors[d]
+	}
+	return pl, nil
+}

@@ -1,0 +1,98 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+
+	"ccf/internal/partition"
+)
+
+func TestRestrictedPlacesOnlyOnAllowedNodes(t *testing.T) {
+	// 4 nodes, node 2 dead (row zeroed). Every scheduler wrapped must land
+	// all partitions on {0, 1, 3}.
+	m := partition.MustChunkMatrix(4, 6)
+	for k := 0; k < 6; k++ {
+		m.Set(k%2, k, int64(100*(k+1)))
+		m.Set(3, k, 40)
+	}
+	allowed := []bool{true, true, false, true}
+	for _, inner := range []Scheduler{Hash{}, Mini{}, CCF{}, LPT{}} {
+		r := Restricted{Inner: inner, Allowed: allowed}
+		pl, err := r.Place(m, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if err := pl.Validate(m.N, m.P); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		for k, d := range pl.Dest {
+			if d == 2 {
+				t.Errorf("%s placed partition %d on dead node 2", r.Name(), k)
+			}
+		}
+	}
+}
+
+func TestRestrictedMatchesInnerOnCompactCluster(t *testing.T) {
+	// Restricting {0,1,3} of a 4-node matrix must equal running the inner
+	// scheduler on the equivalent 3-node matrix, destinations mapped back.
+	m := partition.MustChunkMatrix(4, 5)
+	vals := [][5]int64{{90, 0, 10, 0, 5}, {0, 80, 0, 60, 0}, {0, 0, 0, 0, 0}, {30, 20, 70, 10, 0}}
+	for i := range vals {
+		for k, v := range vals[i] {
+			m.Set(i, k, v)
+		}
+	}
+	compact := partition.MustChunkMatrix(3, 5)
+	for s, i := range []int{0, 1, 3} {
+		copy(compact.Row(s), m.Row(i))
+	}
+	r := Restricted{Inner: CCF{}, Allowed: []bool{true, true, false, true}}
+	got, err := r.Place(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CCF{}.Place(compact, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := []int{0, 1, 3}
+	for k := range want.Dest {
+		if got.Dest[k] != back[want.Dest[k]] {
+			t.Errorf("partition %d: restricted dest %d, compact dest %d (maps to %d)",
+				k, got.Dest[k], want.Dest[k], back[want.Dest[k]])
+		}
+	}
+}
+
+func TestRestrictedInitialLoadsAreProjected(t *testing.T) {
+	// A survivor with a huge residual backlog should repel CCF even when
+	// the chunk matrix alone makes it attractive.
+	m := partition.MustChunkMatrix(3, 1)
+	m.Set(0, 0, 100)
+	initial := &partition.Loads{Egress: make([]int64, 3), Ingress: []int64{0, 1_000_000, 0}}
+	r := Restricted{Inner: CCF{}, Allowed: []bool{false, true, true}}
+	// Dead node 0 still holds chunks: must refuse.
+	if _, err := r.Place(m, initial); err == nil || !strings.Contains(err.Error(), "holds chunks") {
+		t.Fatalf("err = %v, want chunk-holding refusal", err)
+	}
+	m.Set(0, 0, 0)
+	m.Set(2, 0, 100)
+	pl, err := r.Place(m, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Dest[0] != 2 {
+		t.Errorf("partition went to backlogged node %d, want 2", pl.Dest[0])
+	}
+}
+
+func TestRestrictedValidation(t *testing.T) {
+	m := partition.MustChunkMatrix(2, 2)
+	if _, err := (Restricted{Inner: CCF{}, Allowed: []bool{true}}).Place(m, nil); err == nil {
+		t.Error("mask length mismatch accepted")
+	}
+	if _, err := (Restricted{Inner: CCF{}, Allowed: []bool{false, false}}).Place(m, nil); err == nil {
+		t.Error("empty survivor set accepted")
+	}
+}

@@ -50,7 +50,7 @@ func TestWeightedCCFAvoidsSlowPort(t *testing.T) {
 	// node 1's ingress is 10× slower: the weighted placer must send the
 	// partition to node 2 while the unweighted one (ties aside) treats
 	// them identically.
-	m := partition.NewChunkMatrix(3, 1)
+	m := partition.MustChunkMatrix(3, 1)
 	m.Set(0, 0, 100) // source holding most of the data
 	m.Set(1, 0, 10)
 	m.Set(2, 0, 10)
@@ -70,7 +70,7 @@ func TestWeightedCCFBeatsPlainOnHeterogeneousFabric(t *testing.T) {
 	// must achieve a lower weighted bottleneck than the oblivious one.
 	rng := rand.New(rand.NewSource(8))
 	n, p := 10, 80
-	m := partition.NewChunkMatrix(n, p)
+	m := partition.MustChunkMatrix(n, p)
 	for k := 0; k < p; k++ {
 		base := 10_000 + rng.Intn(1000)
 		for i := 0; i < n; i++ {
@@ -190,7 +190,7 @@ func TestWeightedCCFMatchesReference(t *testing.T) {
 }
 
 func TestWeightedCCFValidation(t *testing.T) {
-	m := partition.NewChunkMatrix(3, 2)
+	m := partition.MustChunkMatrix(3, 2)
 	eg, in := uniformCaps(2, 1) // wrong size
 	if _, err := (WeightedCCF{EgressCap: eg, IngressCap: in}).Place(m, nil); err == nil {
 		t.Error("accepted mis-sized capacities")

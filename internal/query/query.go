@@ -275,7 +275,10 @@ func (e *Executor) run(node Node, res *Result) (*Table, error) {
 func (e *Executor) shuffle(label string, frags [][]Row, payload int64) ([][]Row, StageReport, error) {
 	n, p := e.cfg.Nodes, e.cfg.Partitions
 	rep := StageReport{Operator: label}
-	m := partition.NewChunkMatrix(n, p)
+	m, err := partition.NewChunkMatrix(n, p)
+	if err != nil {
+		return nil, rep, fmt.Errorf("query: %s: %w", label, err)
+	}
 	for i, f := range frags {
 		rep.RowsIn += int64(len(f))
 		for _, row := range f {
@@ -383,7 +386,10 @@ func (e *Executor) join(op *JoinOp, l, r *Table, res *Result) (*Table, error) {
 func (e *Executor) shuffleTagged(label string, frags [][]taggedRow, payload int64) ([][]taggedRow, StageReport, error) {
 	n, p := e.cfg.Nodes, e.cfg.Partitions
 	rep := StageReport{Operator: label}
-	m := partition.NewChunkMatrix(n, p)
+	m, err := partition.NewChunkMatrix(n, p)
+	if err != nil {
+		return nil, rep, fmt.Errorf("query: %s: %w", label, err)
+	}
 	for i, f := range frags {
 		rep.RowsIn += int64(len(f))
 		for _, tr := range f {

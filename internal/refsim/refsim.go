@@ -155,7 +155,11 @@ func (s *Simulator) Run(coflows []*coflow.Coflow) (*netsim.Report, error) {
 					c.Completed = true
 					c.Completion = now
 					completed[c.ID] = true
-					rep.CCTs[c.ID] = c.CCT()
+					cct, err := c.CCT()
+					if err != nil {
+						return nil, err
+					}
+					rep.CCTs[c.ID] = cct
 				}
 				continue
 			}

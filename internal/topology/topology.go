@@ -350,7 +350,11 @@ func (t *Topology) Simulate(coflows []*coflow.Coflow) (*Report, error) {
 				if !c.Completed {
 					c.Completed = true
 					c.Completion = now
-					rep.CCTs[c.ID] = c.CCT()
+					cct, err := c.CCT()
+					if err != nil {
+						return nil, err
+					}
+					rep.CCTs[c.ID] = cct
 				}
 				continue
 			}

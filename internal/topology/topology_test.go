@@ -206,7 +206,7 @@ func TestSimulateRejectsBadFlow(t *testing.T) {
 }
 
 func zipfMatrix(rng *rand.Rand, n, p int) *partition.ChunkMatrix {
-	m := partition.NewChunkMatrix(n, p)
+	m := partition.MustChunkMatrix(n, p)
 	for k := 0; k < p; k++ {
 		base := 10_000 + rng.Intn(500)
 		for i := 0; i < n; i++ {
@@ -281,7 +281,7 @@ func TestRackAwareBeatsPlainOnOversubscribedCore(t *testing.T) {
 }
 
 func TestRackAwareValidation(t *testing.T) {
-	m := partition.NewChunkMatrix(4, 2)
+	m := partition.MustChunkMatrix(4, 2)
 	if _, err := (RackAwareCCF{}).Place(m, nil); err == nil {
 		t.Error("accepted nil topology")
 	}
@@ -306,7 +306,7 @@ func TestRackAwarePlacementIsValid(t *testing.T) {
 			return false
 		}
 		p := 1 + rng.Intn(15)
-		m := partition.NewChunkMatrix(topo.N, p)
+		m := partition.MustChunkMatrix(topo.N, p)
 		for i := range m.H {
 			m.H[i] = int64(rng.Intn(50))
 		}

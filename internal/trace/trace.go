@@ -80,9 +80,15 @@ func Parse(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	if racks <= 0 {
+		return nil, fmt.Errorf("trace: numRacks must be positive, got %d", racks)
+	}
 	numJobs, err := nextInt("numJobs")
 	if err != nil {
 		return nil, err
+	}
+	if numJobs < 0 {
+		return nil, fmt.Errorf("trace: negative numJobs %d", numJobs)
 	}
 	tr := &Trace{NumRacks: racks}
 	for j := 0; j < numJobs; j++ {
@@ -94,10 +100,16 @@ func Parse(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
+		if arr < 0 {
+			return nil, fmt.Errorf("trace: job %d has negative arrival %d", job.ID, arr)
+		}
 		job.ArrivalMillis = int64(arr)
 		nm, err := nextInt("numMappers")
 		if err != nil {
 			return nil, err
+		}
+		if nm < 0 {
+			return nil, fmt.Errorf("trace: job %d has negative mapper count %d", job.ID, nm)
 		}
 		for m := 0; m < nm; m++ {
 			loc, err := nextInt("mapper location")
@@ -113,7 +125,17 @@ func Parse(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		job.ReducerMB = make(map[int]float64, nr)
+		if nr < 0 {
+			return nil, fmt.Errorf("trace: job %d has negative reducer count %d", job.ID, nr)
+		}
+		// Cap the preallocation hint by the tokens actually present: a
+		// forged count must not let make() reserve attacker-chosen memory
+		// before the per-entry parse fails at end of input.
+		hint := nr
+		if rest := len(tokens) - pos; hint > rest {
+			hint = rest
+		}
+		job.ReducerMB = make(map[int]float64, hint)
 		for r := 0; r < nr; r++ {
 			t, err := next()
 			if err != nil {

@@ -166,7 +166,10 @@ func Generate(cfg Config) (*Workload, error) {
 		return nil, err
 	}
 	n, p := cfg.Nodes, cfg.Partitions
-	m := partition.NewChunkMatrix(n, p)
+	m, err := partition.NewChunkMatrix(n, p)
+	if err != nil {
+		return nil, err
+	}
 
 	totalTuples := cfg.CustomerTuples + cfg.OrderTuples
 	skewOrderTuples := int64(cfg.Skew * float64(cfg.OrderTuples))
