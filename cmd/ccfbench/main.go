@@ -36,7 +36,7 @@ func main() {
 	var (
 		exp = flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, motivating, "+
 			"ablation-rank, ablation-pmult, ablation-sort, ablation-exact, "+
-			"ablation-hetero, ablation-topo, ablation-bound, netsim-bench, chaos, recovery")
+			"ablation-hetero, ablation-topo, ablation-bound, netsim-bench, chaos, recovery, telemetry")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper's ≈1 TB)")
 		bandwidth  = flag.Float64("bw", 0, "port bandwidth in bytes/sec (0 = CoflowSim default 128 MB/s)")
 		csvDir     = flag.String("csv", "", "directory to write per-panel CSV files (empty = none)")
@@ -144,6 +144,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *exp == "telemetry" {
+		if err := telemetryExp(1, *bandwidth); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // knownExperiments lists every value -exp accepts; anything else exits
@@ -153,6 +159,7 @@ var knownExperiments = map[string]bool{
 	"ablation-rank": true, "ablation-pmult": true, "ablation-sort": true,
 	"ablation-exact": true, "ablation-hetero": true, "ablation-topo": true,
 	"ablation-bound": true, "netsim-bench": true, "chaos": true, "recovery": true,
+	"telemetry": true,
 }
 
 // validateBenchFlags rejects nonsensical knob values with a one-line message

@@ -20,6 +20,7 @@ import (
 	"ccf/internal/core"
 	"ccf/internal/netsim"
 	"ccf/internal/placement"
+	"ccf/internal/telemetry"
 	"ccf/internal/trace"
 	"ccf/internal/workload"
 )
@@ -37,6 +38,9 @@ func main() {
 		eventSim  = flag.Bool("eventsim", false, "run the flow-level event simulator")
 		traceFile = flag.String("trace", "", "simulate a CoflowSim benchmark trace instead of a generated workload")
 		seed      = flag.Uint64("seed", 0, "workload seed")
+		traceOut  = flag.String("tracefile", "", "write a Chrome trace-event file of the simulated run (open in Perfetto or chrome://tracing); requires -eventsim or -trace")
+		metrics   = flag.String("metrics", "", "write JSONL telemetry metrics of the simulated run; requires -eventsim or -trace")
+		sample    = flag.Float64("sample", 0, "telemetry utilization sample resolution in seconds (0 = one sample per scheduling epoch, downsampled into a bounded ring)")
 	)
 	flag.Parse()
 
@@ -44,17 +48,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccfsim:", err)
 		os.Exit(2)
 	}
+	telemetryOn := *traceOut != "" || *metrics != ""
+	if *sample < 0 {
+		fmt.Fprintln(os.Stderr, "ccfsim: -sample must be non-negative, got", *sample)
+		os.Exit(2)
+	}
+	if telemetryOn && !*eventSim && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "ccfsim: -tracefile/-metrics need the event simulator (-eventsim) or a -trace input")
+		os.Exit(2)
+	}
+	var rec *telemetry.Recorder
+	if telemetryOn {
+		rec = telemetry.NewRecorder(telemetry.Config{Resolution: *sample})
+	}
 	if *traceFile != "" {
-		if err := runTrace(*traceFile, *coflowSch, *bandwidth); err != nil {
+		if err := runTrace(*traceFile, *coflowSch, *bandwidth, rec); err != nil {
 			fmt.Fprintln(os.Stderr, "ccfsim:", err)
 			os.Exit(1)
 		}
-		return
-	}
-	if err := runWorkload(*nodes, *parts, *zipf, *skewFrac, *scale, *placer, *bandwidth, *eventSim, *seed); err != nil {
+	} else if err := runWorkload(*nodes, *parts, *zipf, *skewFrac, *scale, *placer, *bandwidth, *eventSim, *seed, rec); err != nil {
 		fmt.Fprintln(os.Stderr, "ccfsim:", err)
 		os.Exit(1)
 	}
+	if rec != nil {
+		if err := exportTelemetry(rec, *traceOut, *metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "ccfsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// exportTelemetry prints the derived-metrics summary and writes the
+// requested trace/metrics files.
+func exportTelemetry(rec *telemetry.Recorder, traceOut, metrics string) error {
+	fmt.Println()
+	if err := telemetry.RenderSummary(os.Stdout, rec.Summary()); err != nil {
+		return err
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry: Chrome trace written to %s (open in https://ui.perfetto.dev)\n", traceOut)
+	}
+	if metrics != "" {
+		f, err := os.Create(metrics)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry: JSONL metrics written to %s\n", metrics)
+	}
+	return nil
 }
 
 // validateFlags rejects nonsensical knob values up front with a one-line
@@ -122,7 +181,7 @@ func pickCoflowScheduler(name string) (coflow.Scheduler, error) {
 	}
 }
 
-func runWorkload(nodes, parts int, zipf, skewFrac, scale float64, placer string, bw float64, eventSim bool, seed uint64) error {
+func runWorkload(nodes, parts int, zipf, skewFrac, scale float64, placer string, bw float64, eventSim bool, seed uint64, rec *telemetry.Recorder) error {
 	sched, handleSkew, err := pickPlacer(placer)
 	if err != nil {
 		return err
@@ -135,7 +194,11 @@ func runWorkload(nodes, parts int, zipf, skewFrac, scale float64, placer string,
 	if err != nil {
 		return err
 	}
-	res, err := core.RunScheduler(w, sched, handleSkew, core.Options{Bandwidth: bw, UseEventSim: eventSim})
+	opts := core.Options{Bandwidth: bw, UseEventSim: eventSim}
+	if rec != nil {
+		opts.Probe = rec
+	}
+	res, err := core.RunScheduler(w, sched, handleSkew, opts)
 	if err != nil {
 		return err
 	}
@@ -148,7 +211,7 @@ func runWorkload(nodes, parts int, zipf, skewFrac, scale float64, placer string,
 	return nil
 }
 
-func runTrace(path, coflowSch string, bw float64) error {
+func runTrace(path, coflowSch string, bw float64, rec *telemetry.Recorder) error {
 	sched, err := pickCoflowScheduler(coflowSch)
 	if err != nil {
 		return err
@@ -166,7 +229,11 @@ func runTrace(path, coflowSch string, bw float64) error {
 	if err != nil {
 		return err
 	}
-	rep, err := netsim.NewSimulator(fabric, sched).Run(tr.Coflows())
+	sim := netsim.NewSimulator(fabric, sched)
+	if rec != nil {
+		sim.Probe = rec
+	}
+	rep, err := sim.Run(tr.Coflows())
 	if err != nil {
 		return err
 	}

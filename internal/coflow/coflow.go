@@ -180,6 +180,18 @@ type CapacityObserver interface {
 	CapacityChanged(now float64)
 }
 
+// Auditable is implemented by schedulers that maintain an explicit serving
+// order (Varys/SEBF, FIFO, SCF, NCF, Aalo's D-CLAS queues, deadline mode).
+// Telemetry probes use it to snapshot the decision the scheduler just made —
+// which coflow is being served first and why a later one is starved.
+type Auditable interface {
+	// PriorityOrder returns the current serving order, highest priority
+	// first. The slice is owned by the scheduler: read-only, valid only
+	// until the next Allocate, and must be copied if retained. It reflects
+	// the order used by the most recent Allocate call.
+	PriorityOrder() []*Coflow
+}
+
 // removePort swap-removes p from the port set. Port-set order never affects
 // results (it feeds max/min reductions and existence checks only).
 func removePort(ports []int, p int) []int {
@@ -612,6 +624,10 @@ type orderedMADD struct {
 
 func (o *orderedMADD) Name() string { return o.name }
 
+// PriorityOrder implements Auditable: the persistent serving order the last
+// Allocate used (SEBF's Γ order, FIFO's arrival order, ...).
+func (o *orderedMADD) PriorityOrder() []*Coflow { return o.ord.order }
+
 func (o *orderedMADD) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
 	resetRates(active)
 	o.scratch.ensure(len(egCap))
@@ -698,6 +714,10 @@ func NewAalo() *Aalo { return &Aalo{FirstThreshold: 10e6, Multiplier: 10} }
 
 // Name implements Scheduler.
 func (a *Aalo) Name() string { return "aalo-dclas" }
+
+// PriorityOrder implements Auditable: the D-CLAS queue order (queue index,
+// then arrival, then ID) the last Allocate served.
+func (a *Aalo) PriorityOrder() []*Coflow { return a.ord.order }
 
 // queueOf returns the priority queue index for a coflow.
 func (a *Aalo) queueOf(c *Coflow) int {

@@ -41,6 +41,10 @@ func (d *Deadline) Name() string { return "varys-deadline" }
 // rejected, undecided, or unknown IDs).
 func (d *Deadline) Admitted(id int) bool { return d.state[id] == admitted }
 
+// PriorityOrder implements Auditable: the arrival-ordered reservation order
+// the last Allocate served (admission runs down this list).
+func (d *Deadline) PriorityOrder() []*Coflow { return d.ord.order }
+
 // Allocate implements Scheduler. Arrival order is static per coflow, so the
 // serving order is re-sorted only when the active-set membership changes.
 func (d *Deadline) Allocate(now float64, active []*Coflow, egCap, inCap []float64) {

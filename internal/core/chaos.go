@@ -33,9 +33,9 @@ import (
 
 // ChaosConfig sizes the chaos sweep.
 type ChaosConfig struct {
-	Seeds   int     // fault schedules to generate (default 32)
-	Nodes   int     // fabric ports (default 6)
-	Coflows int     // coflows per workload (default 5)
+	Seeds     int     // fault schedules to generate (default 32)
+	Nodes     int     // fabric ports (default 6)
+	Coflows   int     // coflows per workload (default 5)
 	Bandwidth float64 // bytes/sec (default 100: second-scale runs)
 }
 

@@ -46,6 +46,10 @@ type Options struct {
 	// MADD (a tested invariant); the closed form avoids materialising the
 	// O(n²) flows of thousand-node runs.
 	UseEventSim bool
+	// Probe, when non-nil, observes the event-simulator run (telemetry).
+	// Only meaningful with UseEventSim; the closed form has no event loop
+	// to observe. Nil keeps the simulator on its zero-overhead path.
+	Probe netsim.Probe
 }
 
 func (o Options) bandwidth() float64 {
@@ -143,7 +147,9 @@ func RunScheduler(w *workload.Workload, sched placement.Scheduler, handleSkew bo
 			res.TimeSec = 0
 			return res, nil
 		}
-		rep, err := netsim.NewSimulator(fabric, coflow.NewVarys()).Run([]*coflow.Coflow{cf})
+		sim := netsim.NewSimulator(fabric, coflow.NewVarys())
+		sim.Probe = opts.Probe
+		rep, err := sim.Run([]*coflow.Coflow{cf})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,75 @@
+package core
+
+// The telemetry experiment: run one seeded online coflow workload under
+// every coflow scheduler with a telemetry.Recorder attached and reduce each
+// run to the utilization/stretch row `ccfbench -exp telemetry` prints. The
+// same lens the experimental coflow-scheduling literature uses to explain
+// scheduler behavior — per-port utilization and per-coflow timelines —
+// applied to our 8 schedulers on identical input.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccf/internal/netsim"
+	"ccf/internal/telemetry"
+)
+
+// TelemetryConfig sizes the telemetry comparison experiment.
+type TelemetryConfig struct {
+	Seed      int64
+	Nodes     int     // fabric ports (default 12)
+	Coflows   int     // coflows in the online workload (default 16)
+	Bandwidth float64 // bytes/sec (default 100: second-scale runs)
+}
+
+func (c *TelemetryConfig) defaults() {
+	if c.Nodes < 2 {
+		c.Nodes = 12
+	}
+	if c.Coflows <= 0 {
+		c.Coflows = 16
+	}
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = 100
+	}
+}
+
+// TelemetryRow is one scheduler's reduction.
+type TelemetryRow struct {
+	Scheduler string
+	Makespan  float64
+	AvgCCT    float64
+	// Summary carries the full derived metrics (per-port, per-coflow,
+	// stretch histogram) for callers that want more than the row.
+	Summary *telemetry.Summary
+}
+
+// TelemetryExperiment runs the seeded workload under all 8 coflow
+// schedulers, each observed by a fresh Recorder, and returns one row per
+// scheduler in the fixed scheduler order (deterministic output).
+func TelemetryExperiment(cfg TelemetryConfig) ([]TelemetryRow, error) {
+	cfg.defaults()
+	fabric, err := netsim.NewFabric(cfg.Nodes, cfg.Bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	base := chaosWorkload(rand.New(rand.NewSource(cfg.Seed)), cfg.Nodes, cfg.Coflows)
+	rows := make([]TelemetryRow, 0, len(chaosSchedulers()))
+	for _, sc := range chaosSchedulers() {
+		rec := telemetry.NewRecorder(telemetry.Config{})
+		sim := netsim.NewSimulator(fabric, sc.mk())
+		sim.Probe = rec
+		rep, err := sim.Run(cloneCoflows(base))
+		if err != nil {
+			return nil, fmt.Errorf("telemetry experiment: scheduler %s: %w", sc.name, err)
+		}
+		rows = append(rows, TelemetryRow{
+			Scheduler: sc.name,
+			Makespan:  rep.Makespan,
+			AvgCCT:    rep.AvgCCT,
+			Summary:   rec.Summary(),
+		})
+	}
+	return rows, nil
+}

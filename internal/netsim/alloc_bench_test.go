@@ -13,7 +13,7 @@ import (
 	"ccf/internal/netsim"
 )
 
-func allToAll(b *testing.B, n int) []*coflow.Coflow {
+func allToAll(b testing.TB, n int) []*coflow.Coflow {
 	b.Helper()
 	vol := make([]int64, n*n)
 	for i := 0; i < n; i++ {
@@ -30,7 +30,7 @@ func allToAll(b *testing.B, n int) []*coflow.Coflow {
 	return []*coflow.Coflow{cf}
 }
 
-func staggered(b *testing.B, n, ncf int) []*coflow.Coflow {
+func staggered(b testing.TB, n, ncf int) []*coflow.Coflow {
 	b.Helper()
 	out := make([]*coflow.Coflow, 0, ncf)
 	for ci := 0; ci < ncf; ci++ {
@@ -82,8 +82,59 @@ func BenchmarkSteadyStateRun(b *testing.B) {
 				if b.Elapsed() > 0 {
 					b.ReportMetric(float64(epochs)*float64(b.N)/b.Elapsed().Seconds(), "epochs/s")
 				}
+				// Guard, not just a metric: the nil-probe steady state must
+				// stay at 0 allocs/op, and a regression fails the benchmark
+				// instead of quietly shifting the reported number.
+				if !raceEnabled {
+					if avg := testing.AllocsPerRun(5, func() {
+						if err := sim.RunInto(cfs, &rep); err != nil {
+							b.Fatal(err)
+						}
+					}); avg != 0 {
+						b.Fatalf("steady-state RunInto allocated %v allocs/op with nil probe", avg)
+					}
+				}
 			})
 		}
+	}
+}
+
+// TestSteadyStateRunZeroAllocs pins the telemetry overhead contract on the
+// regular test path (no -bench flag needed): with Probe nil, a steady-state
+// run performs zero heap allocations per op for every scheduler family.
+func TestSteadyStateRunZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs allocation counts")
+	}
+	scheds := []struct {
+		name string
+		mk   func() coflow.Scheduler
+	}{
+		{"varys", coflow.NewVarys},
+		{"aalo", func() coflow.Scheduler { return coflow.NewAalo() }},
+		{"fifo", coflow.NewFIFO},
+		{"per-flow-fair", func() coflow.Scheduler { return coflow.PerFlowFair{} }},
+	}
+	for _, sc := range scheds {
+		t.Run(sc.name, func(t *testing.T) {
+			cfs := staggered(t, 16, 24)
+			fab, err := netsim.NewFabric(16, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := netsim.NewSimulator(fab, sc.mk())
+			var rep netsim.Report
+			if err := sim.RunInto(cfs, &rep); err != nil { // warm the scratch
+				t.Fatal(err)
+			}
+			if avg := testing.AllocsPerRun(10, func() {
+				if err := sim.RunInto(cfs, &rep); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Fatalf("steady-state RunInto allocated %v allocs/op with nil probe", avg)
+			}
+		})
 	}
 }
 

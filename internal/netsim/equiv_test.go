@@ -6,8 +6,9 @@ package netsim_test
 // everywhere (dense scratch accumulates per-port sums in the same flow order
 // the maps did; max/min reductions are order-independent; sorts are over
 // strict total orders so the permutation is unique), so the comparison is
-// exact equality on every field except AvgCCT, which both implementations sum
-// in nondeterministic map-iteration order and therefore gets an epsilon.
+// exact equality on every field except AvgCCT: the reference sums it in
+// nondeterministic map-iteration order (the optimized simulator now sums in
+// input-coflow order), so that one field gets an epsilon.
 
 import (
 	"fmt"
@@ -171,8 +172,9 @@ func compareRuns(t *testing.T, tag string, spec *workloadSpec,
 			t.Errorf("%s: CCT[%d] = %v, want %v", tag, id, got, cct)
 		}
 	}
-	// AvgCCT is summed in map-iteration order by both implementations, so it
-	// is the one field where only near-equality is guaranteed.
+	// The reference sums AvgCCT in map-iteration order (the optimized
+	// simulator sums in input order for deterministic output), so it is the
+	// one field where only near-equality is guaranteed.
 	if d := math.Abs(prodRep.AvgCCT - refRep.AvgCCT); d > 1e-9*(1+math.Abs(refRep.AvgCCT)) {
 		t.Errorf("%s: AvgCCT %v != %v (Δ=%g)", tag, prodRep.AvgCCT, refRep.AvgCCT, d)
 	}

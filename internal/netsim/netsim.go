@@ -150,6 +150,11 @@ type Simulator struct {
 	// Retransmit selects what a failure does to bytes already carried
 	// through the failed port (default RetransmitRestart).
 	Retransmit RetransmitPolicy
+	// Probe, when non-nil, observes the run (see Probe). The nil default is
+	// the fast path: no allocations, no extra float operations, bit-identical
+	// to internal/refsim. A non-nil probe must never mutate simulator state;
+	// the telemetry equivalence test pins that observing does not perturb.
+	Probe Probe
 
 	// scratch holds the per-run buffers so repeated Runs (parameter sweeps,
 	// the online co-optimizer's probes, benchmarks) reuse storage instead of
@@ -174,6 +179,9 @@ type runScratch struct {
 	known        map[int]bool
 	downCnt      []int            // per-port count of outages covering now
 	failEv       []failTransition // time-sorted failure edges
+	// probeEg/probeIn snapshot the effective per-port capacities for the
+	// probe's EpochSample; filled only when a probe is attached.
+	probeEg, probeIn []float64
 }
 
 // CapacityEvent rescales one port's capacities at a point in time. Factors
@@ -319,6 +327,13 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 	}
 	nextFail := 0
 	obs, _ := s.sched.(coflow.CapacityObserver)
+	if s.Probe != nil {
+		if len(sc.probeEg) < ports {
+			sc.probeEg = make([]float64, ports)
+			sc.probeIn = make([]float64, ports)
+		}
+		s.Probe.BeginRun(ports, s.fabric.EgressCap, s.fabric.IngressCap, coflows, s.sched)
+	}
 
 	active := sc.active[:0]
 	defer func() { sc.active = active[:0] }()
@@ -363,6 +378,9 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 				}
 				active = append(active, c)
 				liveFlows = append(liveFlows, c.LiveFlows()...)
+				if s.Probe != nil {
+					s.Probe.CoflowAdmitted(now, c)
+				}
 				continue
 			}
 			stillPending = append(stillPending, c)
@@ -385,7 +403,10 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 				downCnt[tr.port]--
 			} else {
 				downCnt[tr.port]++
-				liveFlows = s.applyPortDown(tr, active, liveFlows, rep)
+				liveFlows = s.applyPortDown(tr, now, active, liveFlows, rep)
+			}
+			if s.Probe != nil {
+				s.Probe.FailureEdge(now, tr.port, tr.up)
 			}
 			if obs != nil {
 				obs.CapacityChanged(now)
@@ -404,6 +425,9 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 						return err
 					}
 					rep.CCTs[c.ID] = cct
+					if s.Probe != nil {
+						s.Probe.CoflowCompleted(now, c)
+					}
 				}
 				continue
 			}
@@ -519,6 +543,17 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 		if math.IsInf(dt, 1) {
 			return fmt.Errorf("%w: %d coflows active under scheduler %q", ErrStalled, len(active), s.sched.Name())
 		}
+		if s.Probe != nil {
+			probeEg, probeIn := sc.probeEg[:ports], sc.probeIn[:ports]
+			for p := 0; p < ports; p++ {
+				probeEg[p] = s.fabric.EgressCap[p] * egFac[p]
+				probeIn[p] = s.fabric.IngressCap[p] * inFac[p]
+				if haveFail && downCnt[p] > 0 {
+					probeEg[p], probeIn[p] = 0, 0
+				}
+			}
+			s.Probe.EpochSample(now, dt, active, egUse, inUse, probeEg, probeIn)
+		}
 
 		// Advance along the flat list; coflows that lost flows are marked
 		// dirty (the list is grouped by coflow, so last-element dedup is
@@ -562,7 +597,15 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 	}
 
 	rep.Makespan = now
-	for _, cct := range rep.CCTs {
+	// Aggregate CCTs in input-coflow order, not map-iteration order, so the
+	// float summation behind AvgCCT is deterministic run to run (CLI output
+	// diffs cleanly; the refsim equivalence test grants AvgCCT an epsilon for
+	// exactly this summation-order freedom).
+	for _, c := range coflows {
+		cct, ok := rep.CCTs[c.ID]
+		if !ok {
+			continue
+		}
 		rep.AvgCCT += cct
 		if cct > rep.MaxCCT {
 			rep.MaxCCT = cct
@@ -574,6 +617,9 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 	if haveFail {
 		finalizeFailures(rep, coflows)
 	}
+	if s.Probe != nil {
+		s.Probe.EndRun(now)
+	}
 	return nil
 }
 
@@ -581,7 +627,7 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 // retransmission policy, account waste, and (under restart-delivered)
 // re-enter delivered flows of in-flight coflows into the live set. Returns
 // the (possibly extended) flat live-flow list.
-func (s *Simulator) applyPortDown(tr failTransition, active []*coflow.Coflow,
+func (s *Simulator) applyPortDown(tr failTransition, now float64, active []*coflow.Coflow,
 	liveFlows []*coflow.Flow, rep *Report) []*coflow.Flow {
 	out := &rep.Failures[tr.out]
 	if s.Retransmit == RetransmitResume {
@@ -591,6 +637,9 @@ func (s *Simulator) applyPortDown(tr failTransition, active []*coflow.Coflow,
 		for _, f := range liveFlows {
 			if f.Src == tr.port || f.Dst == tr.port {
 				out.FlowsHit++
+				if s.Probe != nil {
+					s.Probe.FlowHit(now, f.Coflow, f, false)
+				}
 			}
 		}
 		return liveFlows
@@ -600,11 +649,16 @@ func (s *Simulator) applyPortDown(tr failTransition, active []*coflow.Coflow,
 			continue
 		}
 		out.FlowsHit++
+		restarted := false
 		if prog := f.Size - f.Remaining; prog > 0 {
 			out.WastedBytes += prog
 			rep.WastedBytes += prog
 			f.Remaining = f.Size
 			bumpRestart(rep, f.Coflow.ID)
+			restarted = true
+		}
+		if s.Probe != nil {
+			s.Probe.FlowHit(now, f.Coflow, f, restarted)
 		}
 	}
 	if s.Retransmit == RetransmitRestartDelivered {
@@ -627,6 +681,9 @@ func (s *Simulator) applyPortDown(tr failTransition, active []*coflow.Coflow,
 				c.Reactivate(f)
 				liveFlows = append(liveFlows, f)
 				bumpRestart(rep, c.ID)
+				if s.Probe != nil {
+					s.Probe.FlowHit(now, c, f, true)
+				}
 			}
 		}
 	}

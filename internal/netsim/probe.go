@@ -1,0 +1,56 @@
+package netsim
+
+import "ccf/internal/coflow"
+
+// Probe is the simulator's observability hook: an optional observer the
+// event loop drives at run boundaries, epoch boundaries, and event edges.
+// internal/telemetry provides the production implementation (utilization
+// rings, coflow lifecycle traces, Perfetto/JSONL export); tests provide
+// small counting probes.
+//
+// The contract is strict so that observing can never perturb:
+//
+//   - Every method is called synchronously from the event loop, single
+//     goroutine, in simulation-time order.
+//   - Every argument is read-only. Slices (capacities, usage, active sets)
+//     are the simulator's scratch storage: they are only valid for the
+//     duration of the call and must be copied if retained.
+//   - A nil Simulator.Probe is the fast path: the loop takes one
+//     predictable branch per hook site and allocates nothing, keeping the
+//     disabled path bit-identical to internal/refsim and at 0 allocs/op
+//     (pinned by the equivalence suite and the allocation guard test).
+type Probe interface {
+	// BeginRun starts a run over a fabric of the given port count and
+	// configured capacities. sched is the driving scheduler — probes may
+	// type-assert it against coflow.Auditable to capture decision audits.
+	BeginRun(ports int, egCap, inCap []float64, coflows []*coflow.Coflow, sched coflow.Scheduler)
+
+	// EpochSample reports one scheduling epoch: the interval [now, now+dt)
+	// over which the just-allocated rates hold. egUse/inUse are the per-port
+	// aggregate rates, egCap/inCap the effective per-port capacities this
+	// epoch (configured capacity x event factor, zero while the port is
+	// down).
+	EpochSample(now, dt float64, active []*coflow.Coflow, egUse, inUse, egCap, inCap []float64)
+
+	// CoflowAdmitted fires when a coflow enters the active set (arrival
+	// time reached and dependencies satisfied).
+	CoflowAdmitted(now float64, c *coflow.Coflow)
+
+	// CoflowCompleted fires when the last flow of a coflow finishes.
+	CoflowCompleted(now float64, c *coflow.Coflow)
+
+	// FailureEdge fires on every failure transition: up=false when the
+	// port's outage begins, up=true when it lifts.
+	FailureEdge(now float64, port int, up bool)
+
+	// FlowHit fires once per flow affected by a failure's down edge.
+	// restarted is true when the retransmission policy voided the flow's
+	// progress (the flow re-sends from byte zero), false when the flow
+	// merely waits out the outage (RetransmitResume).
+	FlowHit(now float64, c *coflow.Coflow, f *coflow.Flow, restarted bool)
+
+	// EndRun closes the run at the final simulation time (the makespan, or
+	// the horizon for horizon-limited runs). Not called when the run aborts
+	// with an error.
+	EndRun(now float64)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package netsim_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package netsim_test
+
+// The race detector instruments allocations, so alloc-count assertions are
+// meaningless under -race and are skipped.
+const raceEnabled = true

@@ -82,6 +82,12 @@ func TestPercentile(t *testing.T) {
 	if got := Percentile(nil, 50); got != 0 {
 		t.Errorf("empty percentile = %g, want 0", got)
 	}
+	// A single sample is every percentile.
+	for _, q := range []float64{0, 50, 100} {
+		if got := Percentile([]float64{7}, q); got != 7 {
+			t.Errorf("single-sample p%g = %g, want 7", q, got)
+		}
+	}
 	// Input must not be reordered.
 	if v[0] != 5 {
 		t.Error("Percentile mutated its input")

@@ -433,7 +433,13 @@ func (t *Topology) Simulate(coflows []*coflow.Coflow) (*Report, error) {
 		}
 	}
 	rep.Makespan = now
-	for _, cct := range rep.CCTs {
+	// Sum in input-coflow order, not map-iteration order, so the float
+	// result (and anything printed from it) is deterministic run to run.
+	for _, c := range coflows {
+		cct, ok := rep.CCTs[c.ID]
+		if !ok {
+			continue
+		}
 		rep.AvgCCT += cct
 		if cct > rep.MaxCCT {
 			rep.MaxCCT = cct
