@@ -36,13 +36,16 @@ func main() {
 	var (
 		exp = flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, motivating, "+
 			"ablation-rank, ablation-pmult, ablation-sort, ablation-exact, "+
-			"ablation-hetero, ablation-topo, ablation-bound, netsim-bench, chaos, recovery, telemetry")
+			"ablation-hetero, ablation-topo, ablation-bound, netsim-bench, online-bench, "+
+			"chaos, recovery, telemetry")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper's ≈1 TB)")
 		bandwidth  = flag.Float64("bw", 0, "port bandwidth in bytes/sec (0 = CoflowSim default 128 MB/s)")
 		csvDir     = flag.String("csv", "", "directory to write per-panel CSV files (empty = none)")
 		eventSim   = flag.Bool("eventsim", false, "use the flow-level event simulator instead of the closed form (slow at full node counts)")
 		chart      = flag.Bool("chart", false, "also render each figure panel as an ASCII chart (time panels on a log scale)")
 		benchJSON  = flag.String("benchjson", "BENCH_netsim.json", "output path for the netsim-bench experiment's JSON")
+		onlineJSON = flag.String("onlinejson", "BENCH_online.json", "output path for the online-bench experiment's JSON")
+		onlineJobs = flag.Int("onlinejobs", 256, "largest job-stream size for the online-bench experiment")
 		seeds      = flag.Int("seeds", 32, "fault schedules for the chaos experiment")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
@@ -50,7 +53,7 @@ func main() {
 	flag.Parse()
 	chartPanels = *chart
 
-	if err := validateBenchFlags(*exp, *scale, *bandwidth, *seeds); err != nil {
+	if err := validateBenchFlags(*exp, *scale, *bandwidth, *seeds, *onlineJobs); err != nil {
 		fmt.Fprintln(os.Stderr, "ccfbench:", err)
 		os.Exit(2)
 	}
@@ -123,12 +126,19 @@ func main() {
 	run("ablation-hetero", func() error { return ablationHetero(opts) })
 	run("ablation-topo", func() error { return ablationTopo(opts) })
 	run("ablation-bound", func() error { return ablationBound(opts) })
-	// netsim-bench, chaos, and recovery are opt-in only (perf meter and
-	// failure-model experiments, not paper figures).
+	// netsim-bench, online-bench, chaos, and recovery are opt-in only (perf
+	// meter and failure-model experiments, not paper figures).
 	if *exp == "netsim-bench" {
 		fmt.Println("netsim steady-state benchmarks (simulator hot path):")
 		if err := netsimBench(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "ccfbench: netsim-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "online-bench" {
+		fmt.Println("online co-optimization benchmarks (probe reference vs resumable session):")
+		if err := onlineBench(*onlineJSON, *onlineJobs); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: online-bench: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -158,13 +168,13 @@ var knownExperiments = map[string]bool{
 	"all": true, "fig5": true, "fig6": true, "fig7": true, "motivating": true,
 	"ablation-rank": true, "ablation-pmult": true, "ablation-sort": true,
 	"ablation-exact": true, "ablation-hetero": true, "ablation-topo": true,
-	"ablation-bound": true, "netsim-bench": true, "chaos": true, "recovery": true,
-	"telemetry": true,
+	"ablation-bound": true, "netsim-bench": true, "online-bench": true,
+	"chaos": true, "recovery": true, "telemetry": true,
 }
 
 // validateBenchFlags rejects nonsensical knob values with a one-line message
 // before any experiment starts.
-func validateBenchFlags(exp string, scale, bw float64, seeds int) error {
+func validateBenchFlags(exp string, scale, bw float64, seeds, onlineJobs int) error {
 	if !knownExperiments[exp] {
 		return fmt.Errorf("unknown experiment %q (see -exp in -help)", exp)
 	}
@@ -176,6 +186,9 @@ func validateBenchFlags(exp string, scale, bw float64, seeds int) error {
 	}
 	if seeds <= 0 {
 		return fmt.Errorf("-seeds must be positive, got %d", seeds)
+	}
+	if onlineJobs <= 0 {
+		return fmt.Errorf("-onlinejobs must be positive, got %d", onlineJobs)
 	}
 	return nil
 }

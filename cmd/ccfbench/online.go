@@ -1,0 +1,124 @@
+package main
+
+// online-bench: machine-readable perf tracking for the online co-optimization
+// path. Benchmarks the probe-per-arrival reference (re-simulates history at
+// every arrival, O(J²)) against the resumable-session engine (advances one
+// live simulation, O(J)) in-process via testing.Benchmark and writes
+// BENCH_online.json so the speedup is comparable across PRs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"ccf/internal/core"
+	"ccf/internal/workload"
+)
+
+type onlineBenchResult struct {
+	Name           string  `json:"name"`
+	Jobs           int     `json:"jobs"`
+	Impl           string  `json:"impl"` // "probe" or "session"
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	SpeedupVsProbe float64 `json:"speedup_vs_probe,omitempty"` // session rows only
+}
+
+// onlineBenchJobs mirrors BenchmarkOnlineArrivals in internal/core: a stream
+// of small jobs with staggered arrivals so the co-optimizer sees a mix of
+// in-flight backlog and completed history at every admission.
+func onlineBenchJobs(n, j int) ([]core.OnlineJob, error) {
+	zipfs := []float64{0, 0.5, 1.0, 1.5}
+	jobs := make([]core.OnlineJob, 0, j)
+	for k := 0; k < j; k++ {
+		w, err := workload.Generate(workload.Config{
+			Nodes: n, CustomerTuples: 200, OrderTuples: 2_000,
+			PayloadBytes: 1000, Zipf: zipfs[k%len(zipfs)], Seed: uint64(k),
+			JitterFrac: 0.05,
+		})
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, core.OnlineJob{
+			Name:     fmt.Sprintf("job%d", k),
+			Arrival:  0.02 * float64(k),
+			Workload: w,
+		})
+	}
+	return jobs, nil
+}
+
+func onlineBench(path string, maxJobs int) error {
+	const n = 8
+	opts := core.OnlineOptions{CoOptimize: true}
+	sizes := []int{}
+	for _, j := range []int{16, 64, 256} {
+		if j <= maxJobs {
+			sizes = append(sizes, j)
+		}
+	}
+	if len(sizes) == 0 || sizes[len(sizes)-1] != maxJobs {
+		sizes = append(sizes, maxJobs)
+	}
+	var results []onlineBenchResult
+	for _, j := range sizes {
+		jobs, err := onlineBenchJobs(n, j)
+		if err != nil {
+			return err
+		}
+		var probeNs float64
+		for _, impl := range []struct {
+			name string
+			run  func([]core.OnlineJob, core.OnlineOptions) (*core.OnlineReport, error)
+		}{
+			{"probe", core.RunOnlineReference},
+			{"session", core.RunOnline},
+		} {
+			var runErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := impl.run(jobs, opts); err != nil {
+						runErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if runErr != nil {
+				return runErr
+			}
+			nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+			res := onlineBenchResult{
+				Name:        fmt.Sprintf("OnlineArrivals/%s/J=%d", impl.name, j),
+				Jobs:        j,
+				Impl:        impl.name,
+				NsPerOp:     nsOp,
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			if impl.name == "probe" {
+				probeNs = nsOp
+			} else if probeNs > 0 && nsOp > 0 {
+				res.SpeedupVsProbe = probeNs / nsOp
+			}
+			results = append(results, res)
+			extra := ""
+			if res.SpeedupVsProbe > 0 {
+				extra = fmt.Sprintf("  %6.1fx vs probe", res.SpeedupVsProbe)
+			}
+			fmt.Printf("  %-32s %12.0f ns/op  %8d allocs/op%s\n",
+				res.Name, res.NsPerOp, res.AllocsPerOp, extra)
+		}
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", path)
+	return nil
+}

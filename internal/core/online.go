@@ -11,8 +11,27 @@ package core
 // The contrast mode (co-optimize off) places each operator as if the
 // network were idle, which is what a system composing an offline placer
 // with an online coflow scheduler would do.
+//
+// Two implementations coexist:
+//
+//   - OnlineEngine (the serving path) keeps ONE resumable netsim.Session
+//     alive across the whole stream: each Submit advances the live
+//     simulation to the job's arrival, reads the backlog in place, places,
+//     and admits the new coflow into the same session. Total simulator work
+//     is O(J) over J jobs with zero per-arrival cloning.
+//   - RunOnlineReference (the frozen reference) re-simulates the entire
+//     admitted history from t=0 with a horizon for every arrival — O(J²)
+//     simulator work and a deep clone per arrival. It exists to pin the
+//     engine: TestOnlineEngineMatchesReference asserts byte-identical
+//     CCTs/Makespan across seeds × placers × network schedulers ×
+//     co-optimize on/off, with and without injected port failures.
+//
+// RunOnline, the public batch entry point, is a thin wrapper over the
+// engine: sort by arrival, Submit each job, Finish, map CCTs back to input
+// order.
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -44,11 +63,18 @@ type OnlineOptions struct {
 	CoOptimize bool
 	// NetworkScheduler orders the concurrent coflows; nil = Varys.
 	NetworkScheduler coflow.Scheduler
+	// Failures schedules port outages on the shared fabric (see
+	// netsim.PortFailure); edges straddling job arrivals apply exactly as in
+	// an offline run. Retransmit selects the recovery policy.
+	Failures   []netsim.PortFailure
+	Retransmit netsim.RetransmitPolicy
 }
 
 // OnlineReport summarises an online run.
 type OnlineReport struct {
-	// CCTs maps job index (in arrival order) to its coflow completion time.
+	// CCTs[i] is the coflow completion time of jobs[i] (seconds from
+	// arrival), indexed by the caller's input job order regardless of
+	// arrival order; 0 for jobs with no remote bytes.
 	CCTs []float64
 	// AvgCCT and MaxCCT aggregate over jobs.
 	AvgCCT   float64
@@ -56,31 +82,249 @@ type OnlineReport struct {
 	Makespan float64
 }
 
+// OnlineDecision reports what Submit decided for one job.
+type OnlineDecision struct {
+	// Job is the submission index (0-based, arrival order).
+	Job int
+	// Placement assigns each partition of the job's (possibly skew-adjusted)
+	// chunk matrix a destination node.
+	Placement *partition.Placement
+	// Backlog is the in-flight per-port load the placement saw — the v⁰
+	// initial-load term. Zero-valued when co-optimization is off or the
+	// network was idle at the arrival.
+	Backlog partition.Loads
+	// Completed counts jobs that had already finished when this one arrived
+	// (only advanced when co-optimization drives the session forward).
+	Completed int
+}
+
+// OnlineEngine streams jobs through one live co-optimized simulation.
+// Construct with NewOnlineEngine, feed jobs in non-decreasing arrival order
+// with Submit, and call Finish once to run the tail and collect the report.
+// Compared to RunOnlineReference's probe-per-arrival, the engine does O(J)
+// total simulator work over J jobs and produces byte-identical CCTs and
+// makespan (see TestOnlineEngineMatchesReference). Not safe for concurrent
+// use.
+type OnlineEngine struct {
+	opts     OnlineOptions
+	n        int
+	sim      *netsim.Simulator
+	ses      *netsim.Session
+	jobs     []*coflow.Coflow // one per submitted job, in submission order
+	lastArr  float64
+	egB, inB []int64 // reusable backlog buffers
+	finished bool
+}
+
+// NewOnlineEngine builds an engine over a fresh fabric of `nodes` ports.
+func NewOnlineEngine(nodes int, opts OnlineOptions) (*OnlineEngine, error) {
+	fabric, err := netsim.NewFabric(nodes, opts.Bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	netSched := opts.NetworkScheduler
+	if netSched == nil {
+		netSched = coflow.NewVarys()
+	}
+	sim := netsim.NewSimulator(fabric, netSched)
+	sim.Failures = opts.Failures
+	sim.Retransmit = opts.Retransmit
+	ses, err := sim.Session()
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineEngine{
+		opts: opts, n: nodes, sim: sim, ses: ses,
+		egB: make([]int64, nodes), inB: make([]int64, nodes),
+	}, nil
+}
+
+// Submit places one arriving job and admits its coflow into the live
+// simulation. Jobs must be submitted in non-decreasing arrival order — the
+// session only moves forward in time (RunOnline sorts for you). When
+// co-optimizing, the session is advanced to the arrival and the in-flight
+// backlog read off the live flow state; no history is re-simulated.
+func (e *OnlineEngine) Submit(job OnlineJob) (*OnlineDecision, error) {
+	if e.finished {
+		return nil, errors.New("core: online engine already finished")
+	}
+	ji := len(e.jobs)
+	if job.Workload == nil {
+		return nil, fmt.Errorf("core: online job %d has no workload", ji)
+	}
+	if job.Workload.Chunks.N != e.n {
+		return nil, fmt.Errorf("core: online job %d spans %d nodes, engine spans %d",
+			ji, job.Workload.Chunks.N, e.n)
+	}
+	if job.Arrival < 0 {
+		return nil, fmt.Errorf("core: online job %d has negative arrival %g", ji, job.Arrival)
+	}
+	if job.Arrival < e.lastArr {
+		return nil, fmt.Errorf("core: online job %d arrives at %g, before the previous arrival %g (submit in arrival order)",
+			ji, job.Arrival, e.lastArr)
+	}
+	e.lastArr = job.Arrival
+
+	sched := job.Scheduler
+	if sched == nil {
+		sched = placement.CCF{}
+	}
+	matrix := job.Workload.Chunks
+	initial := &partition.Loads{Egress: make([]int64, e.n), Ingress: make([]int64, e.n)}
+	var plan *skew.Plan
+	if job.HandleSkew && job.Workload.SkewPartition >= 0 {
+		plan = skew.PartialDuplication(job.Workload)
+		if err := plan.Validate(job.Workload.Chunks); err != nil {
+			return nil, fmt.Errorf("core: online job %d: %w", ji, err)
+		}
+		matrix = plan.Adjusted
+		copy(initial.Egress, plan.Initial.Egress)
+		copy(initial.Ingress, plan.Initial.Ingress)
+	}
+
+	dec := &OnlineDecision{Job: ji}
+	if e.opts.CoOptimize && len(e.jobs) > 0 {
+		// What does the network look like when this job arrives? Advance
+		// the one live simulation from the previous arrival and read the
+		// outstanding bytes per port in place.
+		if err := e.ses.Advance(job.Arrival); err != nil {
+			return nil, fmt.Errorf("core: online job %d: backlog probe: %w", ji, err)
+		}
+		if err := e.ses.BacklogInto(e.egB, e.inB); err != nil {
+			return nil, fmt.Errorf("core: online job %d: %w", ji, err)
+		}
+		dec.Backlog = partition.Loads{
+			Egress:  append([]int64(nil), e.egB...),
+			Ingress: append([]int64(nil), e.inB...),
+		}
+		for i := 0; i < e.n; i++ {
+			initial.Egress[i] += e.egB[i]
+			initial.Ingress[i] += e.inB[i]
+		}
+		dec.Completed = len(e.ses.Report().CCTs)
+	}
+
+	pl, err := sched.Place(matrix, initial)
+	if err != nil {
+		return nil, fmt.Errorf("core: online job %d: %w", ji, err)
+	}
+	vol, err := partition.FlowVolumes(matrix, pl)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		for i, b := range plan.BroadcastVolumes {
+			vol[i] += b
+		}
+	}
+	cf, err := coflow.FromVolumes(ji, job.Name, job.Arrival, e.n, vol)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.ses.Admit(cf); err != nil {
+		return nil, fmt.Errorf("core: online job %d: %w", ji, err)
+	}
+	e.jobs = append(e.jobs, cf)
+	dec.Placement = pl
+	return dec, nil
+}
+
+// Finish runs the live simulation to completion and aggregates per-job
+// CCTs in submission order. The engine cannot accept further jobs after.
+func (e *OnlineEngine) Finish() (*OnlineReport, error) {
+	if e.finished {
+		return nil, errors.New("core: online engine already finished")
+	}
+	e.finished = true
+	rep, err := e.ses.Finish()
+	if err != nil {
+		return nil, err
+	}
+	out := &OnlineReport{CCTs: make([]float64, len(e.jobs)), Makespan: rep.Makespan}
+	for ji, cf := range e.jobs {
+		cct, ok := rep.CCTs[cf.ID]
+		if !ok {
+			// A job with no remote bytes completes instantly.
+			cct = 0
+		}
+		out.CCTs[ji] = cct
+		out.AvgCCT += cct
+		if cct > out.MaxCCT {
+			out.MaxCCT = cct
+		}
+	}
+	if len(e.jobs) > 0 {
+		out.AvgCCT /= float64(len(e.jobs))
+	}
+	return out, nil
+}
+
 // RunOnline places and simulates a stream of jobs.
 //
 // Placement happens in arrival order. When co-optimizing, the network state
-// at each arrival is obtained by simulating the already-admitted coflows up
-// to that time (the same Varys dynamics the final run uses) and reading the
-// per-port backlog; that backlog, plus the job's own skew broadcasts, forms
-// the initial loads of the placement model. A final full simulation of all
-// coflows yields the reported CCTs.
+// at each arrival is the live backlog of the one shared simulation (the same
+// Varys dynamics throughout) at that time; that backlog, plus the job's own
+// skew broadcasts, forms the initial loads of the placement model. The
+// simulation then continues with the new coflow admitted, and its end state
+// yields the reported CCTs. This is a thin wrapper over OnlineEngine —
+// submit in arrival order, finish, map CCTs back to input job order.
 func RunOnline(jobs []OnlineJob, opts OnlineOptions) (*OnlineReport, error) {
-	if len(jobs) == 0 {
+	order, n, err := onlineOrder(jobs)
+	if err != nil {
+		return nil, err
+	}
+	if order == nil {
 		return &OnlineReport{}, nil
+	}
+	eng, err := NewOnlineEngine(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, ji := range order {
+		if _, err := eng.Submit(jobs[ji]); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := eng.Finish()
+	if err != nil {
+		return nil, err
+	}
+	out := &OnlineReport{CCTs: make([]float64, len(jobs)), Makespan: rep.Makespan}
+	for k, ji := range order {
+		cct := rep.CCTs[k]
+		out.CCTs[ji] = cct
+	}
+	// Aggregate in input order so the float summation is deterministic and
+	// matches the reference implementation bit for bit.
+	for _, cct := range out.CCTs {
+		out.AvgCCT += cct
+		if cct > out.MaxCCT {
+			out.MaxCCT = cct
+		}
+	}
+	out.AvgCCT /= float64(len(jobs))
+	return out, nil
+}
+
+// onlineOrder validates a job batch and returns the stable arrival order.
+// A nil order with a nil error signals an empty batch.
+func onlineOrder(jobs []OnlineJob) ([]int, int, error) {
+	if len(jobs) == 0 {
+		return nil, 0, nil
 	}
 	for i, j := range jobs {
 		if j.Workload == nil {
-			return nil, fmt.Errorf("core: online job %d has no workload", i)
+			return nil, 0, fmt.Errorf("core: online job %d has no workload", i)
 		}
 	}
 	n := jobs[0].Workload.Chunks.N
 	for i, j := range jobs {
 		if j.Workload.Chunks.N != n {
-			return nil, fmt.Errorf("core: online job %d spans %d nodes, first job spans %d",
+			return nil, 0, fmt.Errorf("core: online job %d spans %d nodes, first job spans %d",
 				i, j.Workload.Chunks.N, n)
 		}
 		if j.Arrival < 0 {
-			return nil, fmt.Errorf("core: online job %d has negative arrival %g", i, j.Arrival)
+			return nil, 0, fmt.Errorf("core: online job %d has negative arrival %g", i, j.Arrival)
 		}
 	}
 	order := make([]int, len(jobs))
@@ -88,7 +332,23 @@ func RunOnline(jobs []OnlineJob, opts OnlineOptions) (*OnlineReport, error) {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].Arrival < jobs[order[b]].Arrival })
+	return order, n, nil
+}
 
+// RunOnlineReference is the frozen probe-per-arrival implementation kept as
+// the equivalence oracle for OnlineEngine: for every arrival it deep-clones
+// the admitted coflows and re-simulates them from t=0 up to a horizon at the
+// arrival to read the backlog — O(J²) simulator work. Semantics are
+// otherwise identical to RunOnline, and the equivalence suite pins the two
+// to byte-identical CCTs and makespan.
+func RunOnlineReference(jobs []OnlineJob, opts OnlineOptions) (*OnlineReport, error) {
+	order, n, err := onlineOrder(jobs)
+	if err != nil {
+		return nil, err
+	}
+	if order == nil {
+		return &OnlineReport{}, nil
+	}
 	fabric, err := netsim.NewFabric(n, opts.Bandwidth)
 	if err != nil {
 		return nil, err
@@ -100,7 +360,7 @@ func RunOnline(jobs []OnlineJob, opts OnlineOptions) (*OnlineReport, error) {
 
 	var admitted []*coflow.Coflow
 	cfByJob := make([]*coflow.Coflow, len(jobs))
-	for _, ji := range order {
+	for rank, ji := range order {
 		job := jobs[ji]
 		sched := job.Scheduler
 		if sched == nil {
@@ -124,6 +384,8 @@ func RunOnline(jobs []OnlineJob, opts OnlineOptions) (*OnlineReport, error) {
 			// What will the network look like when this job arrives?
 			probe := cloneCoflows(admitted)
 			sim := netsim.NewSimulator(fabric, netSched)
+			sim.Failures = opts.Failures
+			sim.Retransmit = opts.Retransmit
 			sim.Horizon = job.Arrival
 			if _, err := sim.Run(probe); err != nil {
 				return nil, fmt.Errorf("core: online job %d: backlog probe: %w", ji, err)
@@ -148,7 +410,10 @@ func RunOnline(jobs []OnlineJob, opts OnlineOptions) (*OnlineReport, error) {
 				vol[i] += b
 			}
 		}
-		cf, err := coflow.FromVolumes(ji, job.Name, job.Arrival, n, vol)
+		// Coflow IDs are arrival ranks (as in OnlineEngine, where a streaming
+		// submission index is all there is), so scheduler ID tie-breaks agree
+		// between the two implementations.
+		cf, err := coflow.FromVolumes(rank, job.Name, job.Arrival, n, vol)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +421,10 @@ func RunOnline(jobs []OnlineJob, opts OnlineOptions) (*OnlineReport, error) {
 		cfByJob[ji] = cf
 	}
 
-	rep, err := netsim.NewSimulator(fabric, netSched).Run(admitted)
+	finalSim := netsim.NewSimulator(fabric, netSched)
+	finalSim.Failures = opts.Failures
+	finalSim.Retransmit = opts.Retransmit
+	rep, err := finalSim.Run(admitted)
 	if err != nil {
 		return nil, err
 	}

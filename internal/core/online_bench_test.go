@@ -1,0 +1,63 @@
+package core
+
+// BenchmarkOnlineArrivals contrasts the two online implementations as the
+// job stream grows: the probe-per-arrival reference re-simulates history for
+// every arrival (O(J²) simulator work), the session engine advances one live
+// simulation (O(J)). The session path should scale ~linearly in J and beat
+// the probe path by well over the 5× acceptance bar at J=256.
+
+import (
+	"fmt"
+	"testing"
+
+	"ccf/internal/workload"
+)
+
+// benchOnlineJobs builds a deterministic stream of J small jobs with
+// staggered arrivals; sizes are kept modest so the probe path at J=256
+// finishes in benchmark time while the J² blowup still dominates.
+func benchOnlineJobs(b testing.TB, n, j int) []OnlineJob {
+	b.Helper()
+	zipfs := []float64{0, 0.5, 1.0, 1.5}
+	jobs := make([]OnlineJob, 0, j)
+	for k := 0; k < j; k++ {
+		w, err := workload.Generate(workload.Config{
+			Nodes: n, CustomerTuples: 200, OrderTuples: 2_000,
+			PayloadBytes: 1000, Zipf: zipfs[k%len(zipfs)], Seed: uint64(k),
+			JitterFrac: 0.05,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, OnlineJob{
+			Name:     fmt.Sprintf("job%d", k),
+			Arrival:  0.02 * float64(k),
+			Workload: w,
+		})
+	}
+	return jobs
+}
+
+func BenchmarkOnlineArrivals(b *testing.B) {
+	const n = 8
+	for _, j := range []int{16, 64, 256} {
+		jobs := benchOnlineJobs(b, n, j)
+		opts := OnlineOptions{CoOptimize: true}
+		b.Run(fmt.Sprintf("probe/J=%d", j), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunOnlineReference(jobs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("session/J=%d", j), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunOnline(jobs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

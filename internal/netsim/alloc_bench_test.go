@@ -138,6 +138,62 @@ func TestSteadyStateRunZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSessionAdvanceZeroAllocs extends the allocation contract to the
+// resumable session: the online engine's steady state — begin a session,
+// stream coflows in at their arrivals, Advance between them, read the
+// backlog in place, Finish — must perform zero heap allocations per full
+// cycle once the simulator's buffers are warm. This is what makes the O(J)
+// incremental backlog path allocation-free where the probe path cloned every
+// flow per arrival.
+func TestSessionAdvanceZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector perturbs allocation counts")
+	}
+	scheds := []struct {
+		name string
+		mk   func() coflow.Scheduler
+	}{
+		{"varys", coflow.NewVarys},
+		{"aalo", func() coflow.Scheduler { return coflow.NewAalo() }},
+	}
+	for _, sc := range scheds {
+		t.Run(sc.name, func(t *testing.T) {
+			const n = 16
+			cfs := staggered(t, n, 24)
+			fab, err := netsim.NewFabric(n, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := netsim.NewSimulator(fab, sc.mk())
+			eg, in := make([]int64, n), make([]int64, n)
+			cycle := func() {
+				ses, err := sim.Session()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, c := range cfs {
+					if err := ses.Advance(c.Arrival); err != nil {
+						t.Fatal(err)
+					}
+					if err := ses.BacklogInto(eg, in); err != nil {
+						t.Fatal(err)
+					}
+					if err := ses.Admit(c); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if _, err := ses.Finish(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cycle() // warm the scratch and the session buffers
+			if avg := testing.AllocsPerRun(10, cycle); avg != 0 {
+				t.Fatalf("steady-state session cycle allocated %v allocs/op", avg)
+			}
+		})
+	}
+}
+
 // BenchmarkSteadyStateSingleCoflow is the MADD fast path: one all-to-all
 // coflow (n²−n flows), the shape behind the paper's bandwidth-model check.
 func BenchmarkSteadyStateSingleCoflow(b *testing.B) {

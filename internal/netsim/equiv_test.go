@@ -214,7 +214,9 @@ func TestOptimizedSimulatorMatchesReference(t *testing.T) {
 				prodSim := netsim.NewSimulator(fab, pair.prod())
 				prodSim.Events = spec.events
 				prodSim.Deps = spec.deps
-				prodSim.Horizon = spec.horizon
+				if spec.horizon > 0 { // spec uses 0 for "no horizon"; netsim now uses NoHorizon
+					prodSim.Horizon = spec.horizon
+				}
 				prodRep, prodErr := prodSim.Run(prodCfs)
 
 				refCfs := spec.build()
@@ -251,7 +253,9 @@ func TestOptimizedSimulatorMatchesReferenceReused(t *testing.T) {
 				sim := netsim.NewSimulator(fab, pair.prod())
 				sim.Events = spec.events
 				sim.Deps = spec.deps
-				sim.Horizon = spec.horizon
+				if spec.horizon > 0 {
+					sim.Horizon = spec.horizon
+				}
 				prodCfs := spec.build()
 				var rep netsim.Report
 				var prodErr error

@@ -125,11 +125,15 @@ type Simulator struct {
 	// MaxEpochs bounds the event loop (default 10 million) so scheduler
 	// bugs surface as errors instead of livelocks.
 	MaxEpochs int
-	// Horizon, when positive, stops the simulation at that time instead of
+	// Horizon, when >= 0, stops the simulation at that time instead of
 	// running to completion; flow state (Remaining, Done) is left at the
-	// horizon so callers can inspect the in-flight backlog. The online
-	// co-optimizer uses this to see the network as it will be when a new
-	// operator arrives.
+	// horizon so callers can inspect the in-flight backlog. NewSimulator
+	// initialises it to NoHorizon (-1), which runs to completion. A zero
+	// horizon is a real stop-at-t=0: earlier revisions treated 0 as "no
+	// horizon", which made a backlog probe for an arrival at t=0 silently
+	// simulate to completion and report an empty network. Resumable
+	// sessions (see Session) supersede horizon-limited runs for the online
+	// co-optimizer; Horizon remains for one-shot what-if runs.
 	Horizon float64
 	// Events injects capacity changes (degradations, repairs) at given
 	// times — the failure-injection hook. Events apply in time order; the
@@ -157,23 +161,29 @@ type Simulator struct {
 	Probe Probe
 
 	// scratch holds the per-run buffers so repeated Runs (parameter sweeps,
-	// the online co-optimizer's probes, benchmarks) reuse storage instead of
-	// reallocating it. Simulators are therefore not safe for concurrent Runs.
+	// benchmarks) reuse storage instead of reallocating it. Simulators are
+	// therefore not safe for concurrent Runs.
 	scratch runScratch
+	// ses is the simulator's single resumable session (see Session); Run and
+	// RunInto drive it to completion in one call, Simulator.Session hands it
+	// to the caller. Embedded so steady-state reuse allocates nothing.
+	ses Session
 }
+
+// NoHorizon disables the simulation horizon (the NewSimulator default):
+// runs proceed until every admitted coflow completes.
+const NoHorizon = -1
 
 // runScratch is the simulator's reusable per-run storage. Sized on first use
 // and only ever grown; the event loop itself allocates nothing at steady
 // state (the per-run CCT map entries are the one unavoidable exception, and
-// RunInto lets callers recycle even those).
+// RunInto lets callers recycle even those). The queue/active/live-flow lists
+// live on the Session, which is equally reused.
 type runScratch struct {
-	pending      []*coflow.Coflow
-	active       []*coflow.Coflow
 	events       []CapacityEvent
 	egFac, inFac []float64
 	egCap, inCap []float64
 	egUse, inUse []float64        // fused rate-check accumulators
-	live         []*coflow.Flow   // flat non-done flows of the active coflows
 	dirty        []*coflow.Coflow // coflows with completions this epoch
 	completed    map[int]bool
 	known        map[int]bool
@@ -197,7 +207,7 @@ type CapacityEvent struct {
 
 // NewSimulator wires a fabric and a scheduler.
 func NewSimulator(f Fabric, s coflow.Scheduler) *Simulator {
-	return &Simulator{fabric: f, sched: s, MaxEpochs: 10_000_000}
+	return &Simulator{fabric: f, sched: s, MaxEpochs: 10_000_000, Horizon: NoHorizon}
 }
 
 // Run simulates the given coflows to completion and fills in per-flow
@@ -213,40 +223,25 @@ func (s *Simulator) Run(coflows []*coflow.Coflow) (*Report, error) {
 
 // RunInto is Run with caller-owned Report storage: rep is reset (its CCTs
 // map is cleared and reused) and filled in place, so steady-state repeat
-// runs — benchmark loops, the online co-optimizer's what-if probes — don't
-// allocate a report per run.
+// runs — benchmark loops, parameter sweeps — don't allocate a report per
+// run. Internally it is one complete session (see Session): begin, admit
+// every coflow, drive the event loop to the end, aggregate. The event loop
+// itself lives in session.go; splitting run setup from the loop is what
+// makes runs resumable, and a straight-through run is the degenerate session
+// with a single Advance to +Inf.
 func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
-	ports := s.fabric.Ports
+	ss := &s.ses
+	if err := ss.begin(s, rep); err != nil {
+		return err
+	}
 	for _, c := range coflows {
-		for _, f := range c.Flows {
-			if f.Src < 0 || f.Src >= ports || f.Dst < 0 || f.Dst >= ports {
-				return fmt.Errorf("netsim: flow %d of coflow %d uses port (%d→%d) outside fabric of %d ports",
-					f.ID, c.ID, f.Src, f.Dst, ports)
-			}
-			if f.Src == f.Dst {
-				return fmt.Errorf("netsim: flow %d of coflow %d is a self-loop at port %d", f.ID, c.ID, f.Src)
-			}
-			f.Remaining = f.Size
-			f.Done = f.Size <= 0
-			f.Rate = 0
+		if err := ss.admit(c); err != nil {
+			return err
 		}
-		c.Completed = false
-		c.SentBytes = 0
-		c.BeginSim(ports)
 	}
-
+	// Dependency references are validated up front — unlike a streaming
+	// session, the full coflow population is known before time starts.
 	sc := &s.scratch
-	pending := append(sc.pending[:0], coflows...)
-	coflow.InsertionSortByArrival(pending)
-	sc.pending = pending
-
-	// Dependency bookkeeping.
-	if sc.completed == nil {
-		sc.completed = make(map[int]bool, len(coflows))
-	} else {
-		clear(sc.completed)
-	}
-	completed := sc.completed
 	if len(s.Deps) > 0 {
 		if sc.known == nil {
 			sc.known = make(map[int]bool, len(coflows))
@@ -271,355 +266,16 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 			}
 		}
 	}
-	depsDone := func(c *coflow.Coflow) bool {
-		for _, dep := range s.Deps[c.ID] {
-			if !completed[dep] {
-				return false
-			}
-		}
-		return true
-	}
-
-	events := append(sc.events[:0], s.Events...)
-	sortEventsByTime(events)
-	sc.events = events
-	for _, ev := range events {
-		if ev.Port < 0 || ev.Port >= ports {
-			return fmt.Errorf("netsim: capacity event targets port %d outside fabric of %d ports", ev.Port, ports)
-		}
-		if ev.EgressFactor < 0 || ev.IngressFactor < 0 {
-			return fmt.Errorf("netsim: capacity event at t=%g has negative factor", ev.Time)
-		}
-	}
-	sc.ensurePorts(ports)
-	egFac, inFac := sc.egFac[:ports], sc.inFac[:ports]
-	for p := range egFac {
-		egFac[p], inFac[p] = 1, 1
-	}
-	egCap, inCap := sc.egCap[:ports], sc.inCap[:ports]
-	egUse, inUse := sc.egUse[:ports], sc.inUse[:ports]
-
-	// Failure schedule: expand each outage into time-sorted down/up edges.
-	// A stale down-counter from a previous faulted run must never leak into
-	// this one, so the counter is cleared unconditionally (cheap, and free
-	// of float effects on the equivalence-pinned fault-free path).
-	haveFail := len(s.Failures) > 0
-	downCnt := sc.downCnt[:ports]
-	for p := range downCnt {
-		downCnt[p] = 0
-	}
-	failEv := sc.failEv[:0]
-	if haveFail {
-		for i, pf := range s.Failures {
-			if pf.Port < 0 || pf.Port >= ports {
-				return fmt.Errorf("netsim: failure targets port %d outside fabric of %d ports", pf.Port, ports)
-			}
-			if pf.Down < 0 {
-				return fmt.Errorf("netsim: failure of port %d has negative down time %g", pf.Port, pf.Down)
-			}
-			failEv = append(failEv, failTransition{time: pf.Down, port: pf.Port, up: false, out: i})
-			if !pf.Permanent() {
-				failEv = append(failEv, failTransition{time: pf.Up, port: pf.Port, up: true, out: i})
-			}
-		}
-		sortFailTransitions(failEv)
-		sc.failEv = failEv
-	}
-	nextFail := 0
-	obs, _ := s.sched.(coflow.CapacityObserver)
 	if s.Probe != nil {
-		if len(sc.probeEg) < ports {
-			sc.probeEg = make([]float64, ports)
-			sc.probeIn = make([]float64, ports)
-		}
-		s.Probe.BeginRun(ports, s.fabric.EgressCap, s.fabric.IngressCap, coflows, s.sched)
+		s.Probe.BeginRun(s.fabric.Ports, s.fabric.EgressCap, s.fabric.IngressCap, coflows, s.sched)
 	}
-
-	active := sc.active[:0]
-	defer func() { sc.active = active[:0] }()
-	now := 0.0
-	if len(pending) > 0 {
-		now = pending[0].Arrival
+	if len(ss.pending) > 0 {
+		ss.now = ss.pending[0].Arrival
 	}
-	*rep = Report{CCTs: rep.CCTs, Restarts: rep.Restarts, Failures: rep.Failures[:0]}
-	if rep.CCTs == nil {
-		rep.CCTs = make(map[int]float64, len(coflows))
-	} else {
-		clear(rep.CCTs)
+	if err := ss.latch(ss.loop(math.Inf(1))); err != nil {
+		return err
 	}
-	if rep.Restarts != nil {
-		clear(rep.Restarts)
-	}
-	for _, pf := range s.Failures {
-		rep.Failures = append(rep.Failures, FailureOutcome{
-			Port: pf.Port, Down: pf.Down, Up: pf.Up, Permanent: pf.Permanent(),
-		})
-	}
-
-	// liveFlows is the flat list of non-done flows of the active coflows,
-	// grouped by coflow in admission order. It is maintained incrementally:
-	// extended at admission, compacted after epochs with completions —
-	// never re-materialized from scratch.
-	liveFlows := sc.live[:0]
-	defer func() { sc.live = liveFlows[:0] }()
-
-	for epoch := 0; ; epoch++ {
-		if epoch >= s.MaxEpochs {
-			return fmt.Errorf("netsim: exceeded %d epochs (scheduler %q livelock?)", s.MaxEpochs, s.sched.Name())
-		}
-		// Admit arrivals (time reached and dependencies completed) and
-		// apply due capacity events. A dependency-gated coflow's Arrival is
-		// advanced to its release time so its CCT measures active transfer.
-		stillPending := pending[:0]
-		for _, c := range pending {
-			if c.Arrival <= now+1e-12 && depsDone(c) {
-				if c.Arrival < now {
-					c.Arrival = now
-				}
-				active = append(active, c)
-				liveFlows = append(liveFlows, c.LiveFlows()...)
-				if s.Probe != nil {
-					s.Probe.CoflowAdmitted(now, c)
-				}
-				continue
-			}
-			stillPending = append(stillPending, c)
-		}
-		pending = stillPending
-		for len(events) > 0 && events[0].Time <= now+1e-12 {
-			ev := events[0]
-			events = events[1:]
-			egFac[ev.Port] = ev.EgressFactor
-			inFac[ev.Port] = ev.IngressFactor
-		}
-		// Apply due failure edges. Down edges void progress per the
-		// retransmission policy and may re-enter delivered flows into the
-		// live set; both edges invalidate capacity-dependent scheduler
-		// state (deadline admissions).
-		for nextFail < len(failEv) && failEv[nextFail].time <= now+1e-12 {
-			tr := failEv[nextFail]
-			nextFail++
-			if tr.up {
-				downCnt[tr.port]--
-			} else {
-				downCnt[tr.port]++
-				liveFlows = s.applyPortDown(tr, now, active, liveFlows, rep)
-			}
-			if s.Probe != nil {
-				s.Probe.FailureEdge(now, tr.port, tr.up)
-			}
-			if obs != nil {
-				obs.CapacityChanged(now)
-			}
-		}
-		// Retire completed coflows (O(1) per coflow via the live-flow cache).
-		liveCF := active[:0]
-		for _, c := range active {
-			if c.Finished() {
-				if !c.Completed {
-					c.Completed = true
-					c.Completion = now
-					completed[c.ID] = true
-					cct, err := c.CCT()
-					if err != nil {
-						return err
-					}
-					rep.CCTs[c.ID] = cct
-					if s.Probe != nil {
-						s.Probe.CoflowCompleted(now, c)
-					}
-				}
-				continue
-			}
-			liveCF = append(liveCF, c)
-		}
-		active = liveCF
-
-		if s.Horizon > 0 && now >= s.Horizon-1e-12 {
-			now = s.Horizon
-			break
-		}
-		if len(active) == 0 {
-			if len(pending) == 0 {
-				break
-			}
-			// Jump to the first eligible (dependency-satisfied) arrival.
-			next := math.Inf(1)
-			for _, c := range pending {
-				if depsDone(c) {
-					next = c.Arrival
-					break // pending stays sorted by arrival
-				}
-			}
-			if math.IsInf(next, 1) {
-				return fmt.Errorf("netsim: %d coflows blocked on dependencies that can never complete (cycle?)", len(pending))
-			}
-			if s.Horizon > 0 && next >= s.Horizon {
-				now = s.Horizon
-				break
-			}
-			// A dependency released mid-run has an arrival in the past;
-			// time never rewinds — re-run admission at the current time.
-			if next > now {
-				now = next
-			}
-			continue
-		}
-
-		// Scheduling epoch.
-		rep.Epochs++
-		for p := 0; p < ports; p++ {
-			egCap[p] = s.fabric.EgressCap[p] * egFac[p]
-			inCap[p] = s.fabric.IngressCap[p] * inFac[p]
-			egUse[p], inUse[p] = 0, 0
-		}
-		if haveFail {
-			for p, d := range downCnt {
-				if d > 0 {
-					egCap[p], inCap[p] = 0, 0
-				}
-			}
-		}
-		s.sched.Allocate(now, active, egCap, inCap)
-
-		// One fused pass over the flat live-flow list: validate rates,
-		// accumulate per-port usage, and find the time to next completion.
-		// The flat list holds exactly the non-done flows in (coflow, flow)
-		// order, so the float accumulation matches the original nested scan.
-		dt := math.Inf(1)
-		for _, f := range liveFlows {
-			if f.Rate < 0 {
-				return fmt.Errorf("netsim: scheduler %q set negative rate %g on flow %d", s.sched.Name(), f.Rate, f.ID)
-			}
-			egUse[f.Src] += f.Rate
-			inUse[f.Dst] += f.Rate
-			if f.Rate > 0 {
-				if t := f.Remaining / f.Rate; t < dt {
-					dt = t
-				}
-			}
-		}
-		// Port capacity check with 0.1% tolerance for float accumulation —
-		// keeps every scheduler honest under the property tests.
-		const tolAbs = 1e-9
-		tol := 1 + 1e-3
-		for p := 0; p < ports; p++ {
-			egLim := s.fabric.EgressCap[p] * egFac[p] * tol
-			inLim := s.fabric.IngressCap[p] * inFac[p] * tol
-			if haveFail && downCnt[p] > 0 {
-				egLim, inLim = 0, 0
-			}
-			if egUse[p] > egLim+tolAbs || inUse[p] > inLim+tolAbs {
-				return fmt.Errorf("netsim: scheduler %q oversubscribed port %d (eg=%.3g/%.3g in=%.3g/%.3g)",
-					s.sched.Name(), p, egUse[p], egLim, inUse[p], inLim)
-			}
-		}
-
-		// ... or next eligible arrival or capacity event, whichever first.
-		// Dependency-gated coflows release at a completion, which is
-		// already a dt boundary, so only dependency-satisfied arrivals
-		// bound the step.
-		for _, c := range pending {
-			if depsDone(c) {
-				if t := c.Arrival - now; t >= 0 && t < dt {
-					dt = t
-				}
-				break
-			}
-		}
-		if len(events) > 0 {
-			if t := events[0].Time - now; t < dt {
-				dt = t
-			}
-		}
-		if nextFail < len(failEv) {
-			if t := failEv[nextFail].time - now; t < dt {
-				dt = t
-			}
-		}
-		if s.Horizon > 0 && now+dt > s.Horizon {
-			dt = s.Horizon - now
-		}
-		if math.IsInf(dt, 1) {
-			return fmt.Errorf("%w: %d coflows active under scheduler %q", ErrStalled, len(active), s.sched.Name())
-		}
-		if s.Probe != nil {
-			probeEg, probeIn := sc.probeEg[:ports], sc.probeIn[:ports]
-			for p := 0; p < ports; p++ {
-				probeEg[p] = s.fabric.EgressCap[p] * egFac[p]
-				probeIn[p] = s.fabric.IngressCap[p] * inFac[p]
-				if haveFail && downCnt[p] > 0 {
-					probeEg[p], probeIn[p] = 0, 0
-				}
-			}
-			s.Probe.EpochSample(now, dt, active, egUse, inUse, probeEg, probeIn)
-		}
-
-		// Advance along the flat list; coflows that lost flows are marked
-		// dirty (the list is grouped by coflow, so last-element dedup is
-		// exact) and compacted in one batched pass afterwards.
-		now += dt
-		dirty := sc.dirty[:0]
-		for _, f := range liveFlows {
-			if f.Rate <= 0 {
-				continue
-			}
-			moved := f.Rate * dt
-			if moved > f.Remaining {
-				moved = f.Remaining
-			}
-			f.Remaining -= moved
-			f.Coflow.SentBytes += moved
-			rep.TotalBytes += moved
-			if f.Remaining <= completionEps {
-				f.Remaining = 0
-				f.Done = true
-				f.EndTime = now
-				if len(dirty) == 0 || dirty[len(dirty)-1] != f.Coflow {
-					dirty = append(dirty, f.Coflow)
-				}
-			}
-		}
-		sc.dirty = dirty
-		if len(dirty) > 0 {
-			for _, c := range dirty {
-				c.RefreshSim()
-			}
-			w := 0
-			for _, f := range liveFlows {
-				if !f.Done {
-					liveFlows[w] = f
-					w++
-				}
-			}
-			liveFlows = liveFlows[:w]
-		}
-	}
-
-	rep.Makespan = now
-	// Aggregate CCTs in input-coflow order, not map-iteration order, so the
-	// float summation behind AvgCCT is deterministic run to run (CLI output
-	// diffs cleanly; the refsim equivalence test grants AvgCCT an epsilon for
-	// exactly this summation-order freedom).
-	for _, c := range coflows {
-		cct, ok := rep.CCTs[c.ID]
-		if !ok {
-			continue
-		}
-		rep.AvgCCT += cct
-		if cct > rep.MaxCCT {
-			rep.MaxCCT = cct
-		}
-	}
-	if len(rep.CCTs) > 0 {
-		rep.AvgCCT /= float64(len(rep.CCTs))
-	}
-	if haveFail {
-		finalizeFailures(rep, coflows)
-	}
-	if s.Probe != nil {
-		s.Probe.EndRun(now)
-	}
+	ss.finalize(coflows)
 	return nil
 }
 

@@ -1,0 +1,646 @@
+package netsim
+
+// Session is the resumable form of a simulation run: the same event loop
+// RunInto drives to completion, parked between calls so callers can interleave
+// time with decisions. Run/RunInto are now thin wrappers over a session that
+// is begun, fed every coflow up front, and advanced to the end in one call;
+// the online co-optimizer instead keeps ONE session alive across a whole job
+// stream — Advance(t) moves the live simulation to the next arrival,
+// BacklogInto reads the in-flight per-port bytes the placement model needs,
+// Admit injects the newly-placed coflow, and Finish runs the tail and
+// aggregates the report. That turns the per-arrival backlog probe from
+// "re-simulate the entire admitted history from t=0" (O(J²) simulator work
+// over J jobs, with a deep clone per arrival) into "advance the one live
+// simulation since the previous arrival" — O(J) total and zero per-arrival
+// cloning.
+//
+// Determinism contract: a session advanced through stops t₁ ≤ t₂ ≤ … that
+// all land on epoch boundaries of the equivalent straight-through run —
+// coflow arrivals (of coflows admitted at their arrival), capacity-event and
+// failure-edge times, completions — and that admits each coflow no later
+// than its arrival produces bit-identical flow states, CCTs and makespan to
+// a single RunInto over the same coflows. The loop's float arithmetic is
+// unchanged — an Advance stop bounds an epoch with the same `arrival - now`
+// expression a pending arrival does in a straight-through run, and the stop
+// never clamps `now` — so boundary stops land on the same floats either way
+// (pinned by TestSessionMatchesRunInto and the online equivalence suite).
+// The online engine only ever stops at arrivals, which are boundaries by
+// construction. A stop strictly inside a fluid interval is still *semantically*
+// exact (rates are constant across the split, so the same bytes move), but
+// the split changes float rounding, so downstream times may drift by ulps
+// relative to an unstopped run.
+//
+// Concurrency/lifecycle: a Simulator hosts one activity at a time. Starting a
+// session abandons any previous session of that simulator, and calling
+// Run/RunInto while a session is live corrupts the session's state (both
+// share the simulator's scratch). Sessions are not safe for concurrent use.
+//
+// Probes keep firing across Advance boundaries: BeginRun once at session
+// start (with the coflows admitted so far — none, for Simulator.Session),
+// CoflowAdmitted/CoflowCompleted/EpochSample/FailureEdge as the loop crosses
+// them regardless of which Advance call drives it, and EndRun at Finish.
+// PortFailure windows that straddle arrivals apply exactly as in a
+// straight-through run: the down/up edges are simulation events, not
+// per-Advance state.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ccf/internal/coflow"
+)
+
+// Session is a resumable simulation over a Simulator's fabric and scheduler.
+// Obtain one from Simulator.Session; the zero value is not usable.
+type Session struct {
+	s   *Simulator
+	rep *Report
+	// ownRep backs sessions begun without caller-owned report storage
+	// (Simulator.Session); reused across sessions so steady-state reuse
+	// allocates nothing.
+	ownRep Report
+
+	now      float64
+	iter     int // event-loop iterations consumed, bounded by MaxEpochs
+	pending  []*coflow.Coflow
+	active   []*coflow.Coflow
+	live     []*coflow.Flow // flat non-done flows of the active coflows
+	all      []*coflow.Coflow
+	events   []CapacityEvent // unapplied suffix of the sorted event schedule
+	nextFail int
+	haveFail bool
+	obs      coflow.CapacityObserver
+	begun    bool
+	finished bool
+	err      error
+}
+
+// Session begins a resumable simulation session on the simulator, abandoning
+// any previous session. Coflows are injected with Admit and time advances
+// with Advance/Finish. The simulator's Events, Failures, Retransmit and
+// Probe configuration apply to the session; Deps are honored but, because
+// coflows stream in, dependency references are only resolved against coflows
+// admitted so far (an unresolvable dependency surfaces as a blocked-coflows
+// error from Advance, not as an upfront validation error the way Run reports
+// it).
+func (s *Simulator) Session() (*Session, error) {
+	ss := &s.ses
+	if err := ss.begin(s, nil); err != nil {
+		return nil, err
+	}
+	if s.Probe != nil {
+		s.Probe.BeginRun(s.fabric.Ports, s.fabric.EgressCap, s.fabric.IngressCap, nil, s.sched)
+	}
+	return ss, nil
+}
+
+// begin resets the session for a new run: validates and stages the event and
+// failure schedules, sizes the scratch, and resets the report. rep == nil
+// selects the session-owned report.
+func (ss *Session) begin(s *Simulator, rep *Report) error {
+	ports := s.fabric.Ports
+	sc := &s.scratch
+	*ss = Session{
+		s:       s,
+		ownRep:  ss.ownRep,
+		pending: ss.pending[:0],
+		active:  ss.active[:0],
+		live:    ss.live[:0],
+		all:     ss.all[:0],
+		begun:   true,
+	}
+	if rep == nil {
+		rep = &ss.ownRep
+	}
+	ss.rep = rep
+
+	if sc.completed == nil {
+		sc.completed = make(map[int]bool)
+	} else {
+		clear(sc.completed)
+	}
+
+	events := append(sc.events[:0], s.Events...)
+	sortEventsByTime(events)
+	sc.events = events
+	ss.events = events
+	for _, ev := range events {
+		if ev.Port < 0 || ev.Port >= ports {
+			return fmt.Errorf("netsim: capacity event targets port %d outside fabric of %d ports", ev.Port, ports)
+		}
+		if ev.EgressFactor < 0 || ev.IngressFactor < 0 {
+			return fmt.Errorf("netsim: capacity event at t=%g has negative factor", ev.Time)
+		}
+	}
+	sc.ensurePorts(ports)
+	egFac, inFac := sc.egFac[:ports], sc.inFac[:ports]
+	for p := range egFac {
+		egFac[p], inFac[p] = 1, 1
+	}
+
+	// Failure schedule: expand each outage into time-sorted down/up edges.
+	// A stale down-counter from a previous faulted run must never leak into
+	// this one, so the counter is cleared unconditionally (cheap, and free
+	// of float effects on the equivalence-pinned fault-free path).
+	ss.haveFail = len(s.Failures) > 0
+	downCnt := sc.downCnt[:ports]
+	for p := range downCnt {
+		downCnt[p] = 0
+	}
+	failEv := sc.failEv[:0]
+	if ss.haveFail {
+		for i, pf := range s.Failures {
+			if pf.Port < 0 || pf.Port >= ports {
+				return fmt.Errorf("netsim: failure targets port %d outside fabric of %d ports", pf.Port, ports)
+			}
+			if pf.Down < 0 {
+				return fmt.Errorf("netsim: failure of port %d has negative down time %g", pf.Port, pf.Down)
+			}
+			failEv = append(failEv, failTransition{time: pf.Down, port: pf.Port, up: false, out: i})
+			if !pf.Permanent() {
+				failEv = append(failEv, failTransition{time: pf.Up, port: pf.Port, up: true, out: i})
+			}
+		}
+		sortFailTransitions(failEv)
+	}
+	sc.failEv = failEv
+	ss.obs, _ = s.sched.(coflow.CapacityObserver)
+	if s.Probe != nil && len(sc.probeEg) < ports {
+		sc.probeEg = make([]float64, ports)
+		sc.probeIn = make([]float64, ports)
+	}
+
+	*rep = Report{CCTs: rep.CCTs, Restarts: rep.Restarts, Failures: rep.Failures[:0]}
+	if rep.CCTs == nil {
+		rep.CCTs = make(map[int]float64)
+	} else {
+		clear(rep.CCTs)
+	}
+	if rep.Restarts != nil {
+		clear(rep.Restarts)
+	}
+	for _, pf := range s.Failures {
+		rep.Failures = append(rep.Failures, FailureOutcome{
+			Port: pf.Port, Down: pf.Down, Up: pf.Up, Permanent: pf.Permanent(),
+		})
+	}
+	return nil
+}
+
+// check gates the mutating session methods on lifecycle state.
+func (ss *Session) check() error {
+	if !ss.begun {
+		return errors.New("netsim: session not started (obtain one from Simulator.Session)")
+	}
+	if ss.finished {
+		return errors.New("netsim: session already finished")
+	}
+	return ss.err
+}
+
+// latch records a loop error so every later call reports it too: a session
+// that errored mid-flight has inconsistent flow state and must be abandoned.
+func (ss *Session) latch(err error) error {
+	if err != nil {
+		ss.err = err
+	}
+	return err
+}
+
+// Admit validates a coflow, resets its flow state, and queues it for
+// admission at its Arrival time (or immediately, if the session has already
+// advanced past it — the loop lifts the arrival to the current time, the
+// same treatment a dependency-released coflow gets). Admitting c after
+// advancing past c.Arrival therefore changes c's effective arrival; the
+// online engine always admits at the arrival instant, where the two agree.
+func (ss *Session) Admit(c *coflow.Coflow) error {
+	if err := ss.check(); err != nil {
+		return err
+	}
+	return ss.latch(ss.admit(c))
+}
+
+// admit is Admit without the lifecycle gate, shared with RunInto's prologue.
+func (ss *Session) admit(c *coflow.Coflow) error {
+	ports := ss.s.fabric.Ports
+	for _, f := range c.Flows {
+		if f.Src < 0 || f.Src >= ports || f.Dst < 0 || f.Dst >= ports {
+			return fmt.Errorf("netsim: flow %d of coflow %d uses port (%d→%d) outside fabric of %d ports",
+				f.ID, c.ID, f.Src, f.Dst, ports)
+		}
+		if f.Src == f.Dst {
+			return fmt.Errorf("netsim: flow %d of coflow %d is a self-loop at port %d", f.ID, c.ID, f.Src)
+		}
+		f.Remaining = f.Size
+		f.Done = f.Size <= 0
+		f.Rate = 0
+	}
+	c.Completed = false
+	c.SentBytes = 0
+	c.BeginSim(ports)
+	ss.all = append(ss.all, c)
+	// Insert into the arrival-sorted admission queue; per-item insertion of a
+	// stable sort is itself stable, so batch admission (RunInto) and
+	// streaming admission order ties identically.
+	p := append(ss.pending, c)
+	for i := len(p) - 1; i > 0 && p[i].Arrival < p[i-1].Arrival; i-- {
+		p[i], p[i-1] = p[i-1], p[i]
+	}
+	ss.pending = p
+	return nil
+}
+
+// Advance runs the simulation up to time `to`: admissions, capacity events,
+// failure edges and completions up to (and at) `to` all apply. Unlike the
+// legacy Simulator.Horizon, Advance never rewrites the internal clock to the
+// stop time — epochs land on exactly the floats a straight-through run
+// produces, which is what makes a session bit-identical to RunInto.
+func (ss *Session) Advance(to float64) error {
+	if err := ss.check(); err != nil {
+		return err
+	}
+	if to < ss.now-1e-12 {
+		return fmt.Errorf("netsim: session cannot Advance(%g) behind current time %g", to, ss.now)
+	}
+	return ss.latch(ss.loop(to))
+}
+
+// Finish runs the session to completion and returns the aggregated report
+// (owned by the session unless RunInto supplied storage; valid until the
+// simulator's next run or session).
+func (ss *Session) Finish() (*Report, error) {
+	if err := ss.check(); err != nil {
+		return nil, err
+	}
+	if err := ss.latch(ss.loop(math.Inf(1))); err != nil {
+		return nil, err
+	}
+	ss.finalize(ss.all)
+	return ss.rep, nil
+}
+
+// Now returns the session's current simulation time.
+func (ss *Session) Now() float64 { return ss.now }
+
+// Report exposes the session's running report: CCTs of coflows completed so
+// far, epoch and byte counters, failure outcomes. Read-only; Makespan and
+// the CCT aggregates are only filled by Finish.
+func (ss *Session) Report() *Report { return ss.rep }
+
+// BacklogInto writes the per-port remaining bytes of every unfinished flow
+// the session knows about — admitted, in flight, or still queued — into the
+// caller's slices (len == fabric ports), the in-place equivalent of
+// PortBacklog. This is the network state the online co-optimizer feeds to
+// placement as the initial-load term v⁰.
+func (ss *Session) BacklogInto(egress, ingress []int64) error {
+	if !ss.begun {
+		return errors.New("netsim: session not started (obtain one from Simulator.Session)")
+	}
+	if err := ss.err; err != nil {
+		return err
+	}
+	ports := ss.s.fabric.Ports
+	if len(egress) != ports || len(ingress) != ports {
+		return fmt.Errorf("netsim: backlog slices sized %d/%d, want %d", len(egress), len(ingress), ports)
+	}
+	for p := 0; p < ports; p++ {
+		egress[p], ingress[p] = 0, 0
+	}
+	for _, c := range ss.all {
+		for _, f := range c.Flows {
+			if f.Done {
+				continue
+			}
+			r := int64(f.Remaining + 0.5)
+			egress[f.Src] += r
+			ingress[f.Dst] += r
+		}
+	}
+	return nil
+}
+
+// depsDone reports whether every declared predecessor of c has completed.
+func (s *Simulator) depsDone(c *coflow.Coflow, completed map[int]bool) bool {
+	for _, dep := range s.Deps[c.ID] {
+		if !completed[dep] {
+			return false
+		}
+	}
+	return true
+}
+
+// loop is the event loop: fluid epochs between completions, arrivals,
+// capacity events and failure edges, stopping once `now` reaches `stop` (or
+// the legacy Simulator.Horizon) or the session drains. It is RunInto's former
+// body with the run-local state lifted into the session so it can park and
+// resume; the float arithmetic is untouched and stays allocation-free at
+// steady state.
+func (ss *Session) loop(stop float64) error {
+	s := ss.s
+	sc := &s.scratch
+	rep := ss.rep
+	ports := s.fabric.Ports
+	hz := s.Horizon
+	completed := sc.completed
+	egFac, inFac := sc.egFac[:ports], sc.inFac[:ports]
+	egCap, inCap := sc.egCap[:ports], sc.inCap[:ports]
+	egUse, inUse := sc.egUse[:ports], sc.inUse[:ports]
+	downCnt := sc.downCnt[:ports]
+	failEv := sc.failEv
+	haveFail := ss.haveFail
+
+	now := ss.now
+	pending, active, liveFlows := ss.pending, ss.active, ss.live
+	events, nextFail := ss.events, ss.nextFail
+	// save parks the loop state back in the session; called (not deferred —
+	// a deferred closure would allocate) before every exit.
+	save := func() {
+		ss.now, ss.pending, ss.active, ss.live = now, pending, active, liveFlows
+		ss.events, ss.nextFail = events, nextFail
+	}
+
+	for {
+		if ss.iter >= s.MaxEpochs {
+			save()
+			return fmt.Errorf("netsim: exceeded %d epochs (scheduler %q livelock?)", s.MaxEpochs, s.sched.Name())
+		}
+		ss.iter++
+		// Admit arrivals (time reached and dependencies completed) and
+		// apply due capacity events. A dependency-gated coflow's Arrival is
+		// advanced to its release time so its CCT measures active transfer.
+		stillPending := pending[:0]
+		for _, c := range pending {
+			if c.Arrival <= now+1e-12 && s.depsDone(c, completed) {
+				if c.Arrival < now {
+					c.Arrival = now
+				}
+				active = append(active, c)
+				liveFlows = append(liveFlows, c.LiveFlows()...)
+				if s.Probe != nil {
+					s.Probe.CoflowAdmitted(now, c)
+				}
+				continue
+			}
+			stillPending = append(stillPending, c)
+		}
+		pending = stillPending
+		for len(events) > 0 && events[0].Time <= now+1e-12 {
+			ev := events[0]
+			events = events[1:]
+			egFac[ev.Port] = ev.EgressFactor
+			inFac[ev.Port] = ev.IngressFactor
+		}
+		// Apply due failure edges. Down edges void progress per the
+		// retransmission policy and may re-enter delivered flows into the
+		// live set; both edges invalidate capacity-dependent scheduler
+		// state (deadline admissions).
+		for nextFail < len(failEv) && failEv[nextFail].time <= now+1e-12 {
+			tr := failEv[nextFail]
+			nextFail++
+			if tr.up {
+				downCnt[tr.port]--
+			} else {
+				downCnt[tr.port]++
+				liveFlows = s.applyPortDown(tr, now, active, liveFlows, rep)
+			}
+			if s.Probe != nil {
+				s.Probe.FailureEdge(now, tr.port, tr.up)
+			}
+			if ss.obs != nil {
+				ss.obs.CapacityChanged(now)
+			}
+		}
+		// Retire completed coflows (O(1) per coflow via the live-flow cache).
+		liveCF := active[:0]
+		for _, c := range active {
+			if c.Finished() {
+				if !c.Completed {
+					c.Completed = true
+					c.Completion = now
+					completed[c.ID] = true
+					cct, err := c.CCT()
+					if err != nil {
+						save()
+						return err
+					}
+					rep.CCTs[c.ID] = cct
+					if s.Probe != nil {
+						s.Probe.CoflowCompleted(now, c)
+					}
+				}
+				continue
+			}
+			liveCF = append(liveCF, c)
+		}
+		active = liveCF
+
+		if hz >= 0 && now >= hz-1e-12 {
+			now = hz
+			break
+		}
+		if now >= stop-1e-12 {
+			break
+		}
+		if len(active) == 0 {
+			if len(pending) == 0 {
+				break
+			}
+			// Jump to the first eligible (dependency-satisfied) arrival.
+			next := math.Inf(1)
+			for _, c := range pending {
+				if s.depsDone(c, completed) {
+					next = c.Arrival
+					break // pending stays sorted by arrival
+				}
+			}
+			if math.IsInf(next, 1) {
+				save()
+				return fmt.Errorf("netsim: %d coflows blocked on dependencies that can never complete (cycle?)", len(pending))
+			}
+			if hz >= 0 && next >= hz {
+				now = hz
+				break
+			}
+			if next > stop {
+				break
+			}
+			// A dependency released mid-run has an arrival in the past;
+			// time never rewinds — re-run admission at the current time.
+			if next > now {
+				now = next
+			}
+			continue
+		}
+
+		// Scheduling epoch.
+		rep.Epochs++
+		for p := 0; p < ports; p++ {
+			egCap[p] = s.fabric.EgressCap[p] * egFac[p]
+			inCap[p] = s.fabric.IngressCap[p] * inFac[p]
+			egUse[p], inUse[p] = 0, 0
+		}
+		if haveFail {
+			for p, d := range downCnt {
+				if d > 0 {
+					egCap[p], inCap[p] = 0, 0
+				}
+			}
+		}
+		s.sched.Allocate(now, active, egCap, inCap)
+
+		// One fused pass over the flat live-flow list: validate rates,
+		// accumulate per-port usage, and find the time to next completion.
+		// The flat list holds exactly the non-done flows in (coflow, flow)
+		// order, so the float accumulation matches the original nested scan.
+		dt := math.Inf(1)
+		for _, f := range liveFlows {
+			if f.Rate < 0 {
+				save()
+				return fmt.Errorf("netsim: scheduler %q set negative rate %g on flow %d", s.sched.Name(), f.Rate, f.ID)
+			}
+			egUse[f.Src] += f.Rate
+			inUse[f.Dst] += f.Rate
+			if f.Rate > 0 {
+				if t := f.Remaining / f.Rate; t < dt {
+					dt = t
+				}
+			}
+		}
+		// Port capacity check with 0.1% tolerance for float accumulation —
+		// keeps every scheduler honest under the property tests.
+		const tolAbs = 1e-9
+		tol := 1 + 1e-3
+		for p := 0; p < ports; p++ {
+			egLim := s.fabric.EgressCap[p] * egFac[p] * tol
+			inLim := s.fabric.IngressCap[p] * inFac[p] * tol
+			if haveFail && downCnt[p] > 0 {
+				egLim, inLim = 0, 0
+			}
+			if egUse[p] > egLim+tolAbs || inUse[p] > inLim+tolAbs {
+				save()
+				return fmt.Errorf("netsim: scheduler %q oversubscribed port %d (eg=%.3g/%.3g in=%.3g/%.3g)",
+					s.sched.Name(), p, egUse[p], egLim, inUse[p], inLim)
+			}
+		}
+
+		// ... or next eligible arrival or capacity event, whichever first.
+		// Dependency-gated coflows release at a completion, which is
+		// already a dt boundary, so only dependency-satisfied arrivals
+		// bound the step.
+		for _, c := range pending {
+			if s.depsDone(c, completed) {
+				if t := c.Arrival - now; t >= 0 && t < dt {
+					dt = t
+				}
+				break
+			}
+		}
+		if len(events) > 0 {
+			if t := events[0].Time - now; t < dt {
+				dt = t
+			}
+		}
+		if nextFail < len(failEv) {
+			if t := failEv[nextFail].time - now; t < dt {
+				dt = t
+			}
+		}
+		if hz >= 0 && now+dt > hz {
+			dt = hz - now
+		}
+		// An Advance stop bounds the epoch exactly the way a pending arrival
+		// does (same expression, same comparison), so a session stopping at
+		// an arrival takes the very float step the straight-through run —
+		// which has that arrival in pending — takes.
+		if t := stop - now; t >= 0 && t < dt {
+			dt = t
+		}
+		if math.IsInf(dt, 1) {
+			save()
+			return fmt.Errorf("%w: %d coflows active under scheduler %q", ErrStalled, len(active), s.sched.Name())
+		}
+		if s.Probe != nil {
+			probeEg, probeIn := sc.probeEg[:ports], sc.probeIn[:ports]
+			for p := 0; p < ports; p++ {
+				probeEg[p] = s.fabric.EgressCap[p] * egFac[p]
+				probeIn[p] = s.fabric.IngressCap[p] * inFac[p]
+				if haveFail && downCnt[p] > 0 {
+					probeEg[p], probeIn[p] = 0, 0
+				}
+			}
+			s.Probe.EpochSample(now, dt, active, egUse, inUse, probeEg, probeIn)
+		}
+
+		// Advance along the flat list; coflows that lost flows are marked
+		// dirty (the list is grouped by coflow, so last-element dedup is
+		// exact) and compacted in one batched pass afterwards.
+		now += dt
+		dirty := sc.dirty[:0]
+		for _, f := range liveFlows {
+			if f.Rate <= 0 {
+				continue
+			}
+			moved := f.Rate * dt
+			if moved > f.Remaining {
+				moved = f.Remaining
+			}
+			f.Remaining -= moved
+			f.Coflow.SentBytes += moved
+			rep.TotalBytes += moved
+			if f.Remaining <= completionEps {
+				f.Remaining = 0
+				f.Done = true
+				f.EndTime = now
+				if len(dirty) == 0 || dirty[len(dirty)-1] != f.Coflow {
+					dirty = append(dirty, f.Coflow)
+				}
+			}
+		}
+		sc.dirty = dirty
+		if len(dirty) > 0 {
+			for _, c := range dirty {
+				c.RefreshSim()
+			}
+			w := 0
+			for _, f := range liveFlows {
+				if !f.Done {
+					liveFlows[w] = f
+					w++
+				}
+			}
+			liveFlows = liveFlows[:w]
+		}
+	}
+	save()
+	return nil
+}
+
+// finalize fills the aggregate report fields from the session's end state:
+// makespan, CCT aggregates summed in the given coflow order (input order for
+// RunInto, admission order for Finish — deterministic either way), failure
+// recovery outcomes, and the probe's EndRun.
+func (ss *Session) finalize(coflows []*coflow.Coflow) {
+	rep := ss.rep
+	rep.Makespan = ss.now
+	for _, c := range coflows {
+		cct, ok := rep.CCTs[c.ID]
+		if !ok {
+			continue
+		}
+		rep.AvgCCT += cct
+		if cct > rep.MaxCCT {
+			rep.MaxCCT = cct
+		}
+	}
+	if len(rep.CCTs) > 0 {
+		rep.AvgCCT /= float64(len(rep.CCTs))
+	}
+	if ss.haveFail {
+		finalizeFailures(rep, coflows)
+	}
+	if ss.s.Probe != nil {
+		ss.s.Probe.EndRun(ss.now)
+	}
+	ss.finished = true
+}

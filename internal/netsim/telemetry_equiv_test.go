@@ -38,14 +38,18 @@ func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
 				offSim := netsim.NewSimulator(fab, pair.prod())
 				offSim.Events = spec.events
 				offSim.Deps = spec.deps
-				offSim.Horizon = spec.horizon
+				if spec.horizon > 0 { // spec uses 0 for "no horizon"; netsim now uses NoHorizon
+					offSim.Horizon = spec.horizon
+				}
 				offRep, offErr := offSim.Run(offCfs)
 
 				onCfs := spec.build()
 				onSim := netsim.NewSimulator(fab, pair.prod())
 				onSim.Events = spec.events
 				onSim.Deps = spec.deps
-				onSim.Horizon = spec.horizon
+				if spec.horizon > 0 {
+					onSim.Horizon = spec.horizon
+				}
 				rec := telemetry.NewRecorder(telemetry.Config{})
 				onSim.Probe = rec
 				onRep, onErr := onSim.Run(onCfs)
