@@ -10,15 +10,16 @@ import (
 	"fmt"
 
 	"ccf/internal/core"
+	"ccf/internal/parallel"
 	"ccf/internal/placement"
 	"ccf/internal/workload"
 )
 
 // chaosExp runs the seeded chaos sweep and prints the aggregate summary.
 // Any invariant violation is printed and turns into a non-zero exit.
-func chaosExp(seeds int) error {
+func chaosExp(seeds, workers int) error {
 	fmt.Printf("Chaos sweep: %d fault schedules x 8 coflow schedulers, rotating retransmission policies\n", seeds)
-	res, err := core.RunChaos(core.ChaosConfig{Seeds: seeds})
+	res, err := core.RunChaos(core.ChaosConfig{Seeds: seeds, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -40,7 +41,7 @@ func chaosExp(seeds int) error {
 // recoveryExp compares the two recovery policies over a set of seeds: kill
 // one node a quarter into the fault-free transfer, then finish the
 // redistribution with co-optimized re-placement vs retry-in-place.
-func recoveryExp(bw float64) error {
+func recoveryExp(bw float64, workers int) error {
 	if bw <= 0 {
 		bw = 1e6 // second-scale runs at the experiment's workload size
 	}
@@ -49,39 +50,54 @@ func recoveryExp(bw float64) error {
 	fmt.Println("orphaned partitions re-placed by restricted CCF (replace) vs hash-style (retry-in-place)")
 	fmt.Printf("  %-4s %12s %6s %14s %14s %8s\n",
 		"seed", "clean (s)", "orph", "replace (s)", "retry (s)", "gain")
-	var sumReplace, sumRetry float64
-	wins := 0
 	const seeds = 8
-	for seed := uint64(0); seed < seeds; seed++ {
+	// Seeds are independent; run them through the pool and print the rows
+	// from the index-ordered results so the table matches the serial output.
+	type row struct {
+		clean, replace, retry float64
+		orphans               int
+	}
+	rows, err := parallel.Run(workers, seeds, func(i int) (row, error) {
+		seed := uint64(i)
 		w, err := workload.Generate(workload.Config{
 			Nodes: 8, Partitions: 64,
 			CustomerTuples: 2000, OrderTuples: 20000, PayloadBytes: 100,
 			Zipf: 0.3, ShuffleRanks: true, Seed: seed, JitterFrac: 0.3,
 		})
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		probe, err := core.RunWithNodeLoss(w, placement.CCF{},
 			core.NodeLossSpec{FailNode: 3, FailTime: 1e-3}, core.RecoverReplace, opts)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		spec := core.NodeLossSpec{FailNode: 3, FailTime: probe.CleanMakespan / 4}
 		rep, err := core.RunWithNodeLoss(w, placement.CCF{}, spec, core.RecoverReplace, opts)
 		if err != nil {
-			return err
+			return row{}, err
 		}
 		retry, err := core.RunWithNodeLoss(w, placement.CCF{}, spec, core.RecoverRetryInPlace, opts)
 		if err != nil {
-			return err
+			return row{}, err
 		}
-		gain := (retry.PostMakespan - rep.PostMakespan) / retry.PostMakespan * 100
+		return row{
+			clean: rep.CleanMakespan, replace: rep.PostMakespan,
+			retry: retry.PostMakespan, orphans: rep.ReplacedPartitions,
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	var sumReplace, sumRetry float64
+	wins := 0
+	for seed, r := range rows {
+		gain := (r.retry - r.replace) / r.retry * 100
 		fmt.Printf("  %-4d %12.4f %6d %14.4f %14.4f %+7.1f%%\n",
-			seed, rep.CleanMakespan, rep.ReplacedPartitions,
-			rep.PostMakespan, retry.PostMakespan, gain)
-		sumReplace += rep.PostMakespan
-		sumRetry += retry.PostMakespan
-		if rep.PostMakespan < retry.PostMakespan {
+			seed, r.clean, r.orphans, r.replace, r.retry, gain)
+		sumReplace += r.replace
+		sumRetry += r.retry
+		if r.replace < r.retry {
 			wins++
 		}
 	}

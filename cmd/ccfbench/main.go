@@ -47,13 +47,17 @@ func main() {
 		onlineJSON = flag.String("onlinejson", "BENCH_online.json", "output path for the online-bench experiment's JSON")
 		onlineJobs = flag.Int("onlinejobs", 256, "largest job-stream size for the online-bench experiment")
 		seeds      = flag.Int("seeds", 32, "fault schedules for the chaos experiment")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for sweep-style experiments "+
+			"(1 = serial; results are identical at any value, figure sweeps may hold ~120 MB per worker at paper scale)")
+		benchPorts   = flag.Int("benchports", 1024, "fabric ports for the netsim-bench sharded-run rows")
+		benchCoflows = flag.Int("benchcoflows", 64, "coflows for the netsim-bench sharded-run rows (each carries ports/2 flows)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	)
 	flag.Parse()
 	chartPanels = *chart
 
-	if err := validateBenchFlags(*exp, *scale, *bandwidth, *seeds, *onlineJobs); err != nil {
+	if err := validateBenchFlags(*exp, *scale, *bandwidth, *seeds, *onlineJobs, *workers, *benchPorts, *benchCoflows); err != nil {
 		fmt.Fprintln(os.Stderr, "ccfbench:", err)
 		os.Exit(2)
 	}
@@ -86,7 +90,7 @@ func main() {
 		}()
 	}
 
-	opts := core.SweepOptions{Scale: *scale, Bandwidth: *bandwidth, UseEventSim: *eventSim}
+	opts := core.SweepOptions{Scale: *scale, Bandwidth: *bandwidth, UseEventSim: *eventSim, Workers: *workers}
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
 			return
@@ -130,7 +134,7 @@ func main() {
 	// meter and failure-model experiments, not paper figures).
 	if *exp == "netsim-bench" {
 		fmt.Println("netsim steady-state benchmarks (simulator hot path):")
-		if err := netsimBench(*benchJSON); err != nil {
+		if err := netsimBench(*benchJSON, *workers, *benchPorts, *benchCoflows); err != nil {
 			fmt.Fprintf(os.Stderr, "ccfbench: netsim-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -143,19 +147,19 @@ func main() {
 		}
 	}
 	if *exp == "chaos" {
-		if err := chaosExp(*seeds); err != nil {
+		if err := chaosExp(*seeds, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "ccfbench: chaos: %v\n", err)
 			os.Exit(1)
 		}
 	}
 	if *exp == "recovery" {
-		if err := recoveryExp(*bandwidth); err != nil {
+		if err := recoveryExp(*bandwidth, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "ccfbench: recovery: %v\n", err)
 			os.Exit(1)
 		}
 	}
 	if *exp == "telemetry" {
-		if err := telemetryExp(1, *bandwidth); err != nil {
+		if err := telemetryExp(1, *bandwidth, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "ccfbench: telemetry: %v\n", err)
 			os.Exit(1)
 		}
@@ -174,7 +178,7 @@ var knownExperiments = map[string]bool{
 
 // validateBenchFlags rejects nonsensical knob values with a one-line message
 // before any experiment starts.
-func validateBenchFlags(exp string, scale, bw float64, seeds, onlineJobs int) error {
+func validateBenchFlags(exp string, scale, bw float64, seeds, onlineJobs, workers, benchPorts, benchCoflows int) error {
 	if !knownExperiments[exp] {
 		return fmt.Errorf("unknown experiment %q (see -exp in -help)", exp)
 	}
@@ -189,6 +193,15 @@ func validateBenchFlags(exp string, scale, bw float64, seeds, onlineJobs int) er
 	}
 	if onlineJobs <= 0 {
 		return fmt.Errorf("-onlinejobs must be positive, got %d", onlineJobs)
+	}
+	if workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", workers)
+	}
+	if benchPorts < 2 {
+		return fmt.Errorf("-benchports must be at least 2, got %d", benchPorts)
+	}
+	if benchCoflows < 1 {
+		return fmt.Errorf("-benchcoflows must be positive, got %d", benchCoflows)
 	}
 	return nil
 }

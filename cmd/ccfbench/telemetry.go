@@ -13,8 +13,8 @@ import (
 	"ccf/internal/core"
 )
 
-func telemetryExp(seed int64, bw float64) error {
-	cfg := core.TelemetryConfig{Seed: seed, Bandwidth: bw}
+func telemetryExp(seed int64, bw float64, workers int) error {
+	cfg := core.TelemetryConfig{Seed: seed, Bandwidth: bw, Workers: workers}
 	rows, err := core.TelemetryExperiment(cfg)
 	if err != nil {
 		return err

@@ -620,6 +620,13 @@ type orderedMADD struct {
 
 	scratch allocScratch
 	ord     orderState
+	// shard configures the Tier-2 intra-epoch parallelism (see shard.go);
+	// the zero value keeps every pass on the serial code path.
+	shard ShardOptions
+	// keyScratch holds one allocScratch per shard worker for the parallel
+	// re-key pass (key functions need private demand buffers). Nil until
+	// sharded re-keying actually runs.
+	keyScratch []allocScratch
 }
 
 func (o *orderedMADD) Name() string { return o.name }
@@ -629,19 +636,17 @@ func (o *orderedMADD) Name() string { return o.name }
 func (o *orderedMADD) PriorityOrder() []*Coflow { return o.ord.order }
 
 func (o *orderedMADD) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
-	resetRates(active)
+	resetRatesSharded(active, o.shard)
 	o.scratch.ensure(len(egCap))
 	if o.ord.sync(active) || o.dynamic {
-		for _, c := range o.ord.order {
-			c.schedKey = o.key(c, &o.scratch)
-		}
+		o.rekeyOrder(len(egCap))
 		sortByKey(o.ord.order, false)
 	}
 	for _, c := range o.ord.order {
-		maddAllocate(c, egCap, inCap, &o.scratch)
+		maddAllocateSharded(c, egCap, inCap, &o.scratch, o.shard)
 	}
 	if o.backfill {
-		waterFill(activeFlows(active, &o.scratch), egCap, inCap, &o.scratch)
+		waterFillSharded(activeFlows(active, &o.scratch), egCap, inCap, &o.scratch, o.shard)
 	}
 }
 
@@ -707,6 +712,7 @@ type Aalo struct {
 
 	scratch allocScratch
 	ord     orderState
+	shard   ShardOptions
 }
 
 // NewAalo returns an Aalo scheduler with the paper defaults.
@@ -734,7 +740,7 @@ func (a *Aalo) queueOf(c *Coflow) int {
 // is re-sorted only when membership changes or a coflow crosses a queue
 // threshold (queue index, then arrival, then ID is a strict total order).
 func (a *Aalo) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
-	resetRates(active)
+	resetRatesSharded(active, a.shard)
 	a.scratch.ensure(len(egCap))
 	resort := a.ord.sync(active)
 	for _, c := range a.ord.order {
@@ -747,25 +753,28 @@ func (a *Aalo) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
 		sortByKey(a.ord.order, true)
 	}
 	for _, c := range a.ord.order {
-		maddAllocate(c, egCap, inCap, &a.scratch)
+		maddAllocateSharded(c, egCap, inCap, &a.scratch, a.shard)
 	}
-	waterFill(activeFlows(active, &a.scratch), egCap, inCap, &a.scratch)
+	waterFillSharded(activeFlows(active, &a.scratch), egCap, inCap, &a.scratch, a.shard)
 }
 
 // PerFlowFair ignores coflow boundaries entirely and shares every port
 // max-min fairly across individual flows — the TCP-like baseline coflow
 // papers compare against.
-type PerFlowFair struct{}
+type PerFlowFair struct {
+	// Shard configures intra-epoch parallelism; zero value = serial.
+	Shard ShardOptions
+}
 
 // Name implements Scheduler.
 func (PerFlowFair) Name() string { return "per-flow-fair" }
 
 // Allocate implements Scheduler.
-func (PerFlowFair) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
-	resetRates(active)
+func (p PerFlowFair) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
+	resetRatesSharded(active, p.Shard)
 	s := scratchPool.Get().(*allocScratch)
 	s.ensure(len(egCap))
-	waterFill(activeFlows(active, s), egCap, inCap, s)
+	waterFillSharded(activeFlows(active, s), egCap, inCap, s, p.Shard)
 	scratchPool.Put(s)
 }
 
@@ -774,14 +783,17 @@ func (PerFlowFair) Allocate(_ float64, active []*Coflow, egCap, inCap []float64)
 // destination index order, so a single ingress link is contended while the
 // others idle. Only flows towards the lowest-indexed destination with
 // pending traffic receive bandwidth each epoch.
-type SequentialByDest struct{}
+type SequentialByDest struct {
+	// Shard configures intra-epoch parallelism; zero value = serial.
+	Shard ShardOptions
+}
 
 // Name implements Scheduler.
 func (SequentialByDest) Name() string { return "sequential-by-dest" }
 
 // Allocate implements Scheduler.
-func (SequentialByDest) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
-	resetRates(active)
+func (sd SequentialByDest) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
+	resetRatesSharded(active, sd.Shard)
 	s := scratchPool.Get().(*allocScratch)
 	s.ensure(len(egCap))
 	flows := activeFlows(active, s)
@@ -802,6 +814,6 @@ func (SequentialByDest) Allocate(_ float64, active []*Coflow, egCap, inCap []flo
 		}
 	}
 	s.subset = subset
-	waterFill(subset, egCap, inCap, s)
+	waterFillSharded(subset, egCap, inCap, s, sd.Shard)
 	scratchPool.Put(s)
 }

@@ -27,6 +27,7 @@ type Deadline struct {
 
 	scratch allocScratch
 	ord     orderState
+	shard   ShardOptions
 }
 
 // NewVarysDeadline returns a fresh deadline-mode scheduler.
@@ -48,7 +49,7 @@ func (d *Deadline) PriorityOrder() []*Coflow { return d.ord.order }
 // Allocate implements Scheduler. Arrival order is static per coflow, so the
 // serving order is re-sorted only when the active-set membership changes.
 func (d *Deadline) Allocate(now float64, active []*Coflow, egCap, inCap []float64) {
-	resetRates(active)
+	resetRatesSharded(active, d.shard)
 	d.scratch.ensure(len(egCap))
 	if d.ord.sync(active) {
 		for _, c := range d.ord.order {
@@ -98,7 +99,7 @@ func (d *Deadline) Allocate(now float64, active []*Coflow, egCap, inCap []float6
 	// Leftover capacity serves rejected and best-effort coflows — and
 	// opportunistically accelerates everyone (finishing early never breaks
 	// a deadline).
-	waterFill(activeFlows(active, &d.scratch), egCap, inCap, &d.scratch)
+	waterFillSharded(activeFlows(active, &d.scratch), egCap, inCap, &d.scratch, d.shard)
 }
 
 // CapacityChanged implements CapacityObserver. Losing (or regaining) port

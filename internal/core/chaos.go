@@ -29,6 +29,7 @@ import (
 
 	"ccf/internal/coflow"
 	"ccf/internal/netsim"
+	"ccf/internal/parallel"
 )
 
 // ChaosConfig sizes the chaos sweep.
@@ -37,6 +38,11 @@ type ChaosConfig struct {
 	Nodes     int     // fabric ports (default 6)
 	Coflows   int     // coflows per workload (default 5)
 	Bandwidth float64 // bytes/sec (default 100: second-scale runs)
+	// Workers bounds seed-level parallelism (1 = serial, 0 = GOMAXPROCS).
+	// Seeds are independent and aggregated in seed order, so the result —
+	// including the violation list and the float totals — is identical at
+	// any worker count.
+	Workers int
 }
 
 func (c *ChaosConfig) defaults() {
@@ -128,101 +134,134 @@ var chaosPolicies = []netsim.RetransmitPolicy{
 	netsim.RetransmitRestartDelivered,
 }
 
-// RunChaos executes the sweep and collects invariant violations.
+// chaosSeedResult is one seed's contribution to the sweep, merged into the
+// ChaosResult in seed order so the aggregate is worker-count independent.
+type chaosSeedResult struct {
+	runs        int
+	violations  []string
+	wasted      float64
+	restarts    int
+	maxSlowdown float64
+}
+
+// RunChaos executes the sweep and collects invariant violations. Seeds run
+// through the worker pool (cfg.Workers); each seed derives its workload and
+// fault schedule from its own rng, so seeds are fully independent, and the
+// per-seed results are folded in seed order.
 func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	cfg.defaults()
 	fabric, err := netsim.NewFabric(cfg.Nodes, cfg.Bandwidth)
 	if err != nil {
 		return nil, err
 	}
+	outs, err := parallel.Run(cfg.Workers, cfg.Seeds, func(seed int) (chaosSeedResult, error) {
+		return runChaosSeed(cfg, fabric, seed), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &ChaosResult{}
+	for _, out := range outs {
+		res.Runs += out.runs
+		res.Violations = append(res.Violations, out.violations...)
+		res.TotalWasted += out.wasted
+		res.TotalRestarts += out.restarts
+		if out.maxSlowdown > res.MaxSlowdown {
+			res.MaxSlowdown = out.maxSlowdown
+		}
+	}
+	return res, nil
+}
+
+// runChaosSeed runs every scheduler through one seed's workload and fault
+// schedule, collecting that seed's invariant violations.
+func runChaosSeed(cfg ChaosConfig, fabric netsim.Fabric, seed int) chaosSeedResult {
+	res := chaosSeedResult{}
 	fail := func(format string, args ...any) {
-		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+		res.violations = append(res.violations, fmt.Sprintf(format, args...))
 	}
 	// anomalyTol is the slack invariant 4 grants to scheduling anomalies
 	// when comparing against the fault-free run (see package comment).
 	const anomalyTol = 0.05
-	for seed := 0; seed < cfg.Seeds; seed++ {
-		rng := rand.New(rand.NewSource(int64(seed)))
-		base := chaosWorkload(rng, cfg.Nodes, cfg.Coflows)
-		faults := chaosFaults(rng, cfg.Nodes)
-		var totalSize float64
-		for _, c := range base {
-			c.Completed = false // fresh workload per seed
-			totalSize += c.TotalBytes()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	base := chaosWorkload(rng, cfg.Nodes, cfg.Coflows)
+	faults := chaosFaults(rng, cfg.Nodes)
+	var totalSize float64
+	for _, c := range base {
+		c.Completed = false // fresh workload per seed
+		totalSize += c.TotalBytes()
+	}
+	// Bandwidth lower bound of the workload: max port load / capacity.
+	lb := 0.0
+	eg := make([]float64, cfg.Nodes)
+	in := make([]float64, cfg.Nodes)
+	for _, c := range base {
+		for _, f := range c.Flows {
+			eg[f.Src] += f.Size
+			in[f.Dst] += f.Size
 		}
-		// Bandwidth lower bound of the workload: max port load / capacity.
-		lb := 0.0
-		eg := make([]float64, cfg.Nodes)
-		in := make([]float64, cfg.Nodes)
-		for _, c := range base {
-			for _, f := range c.Flows {
-				eg[f.Src] += f.Size
-				in[f.Dst] += f.Size
-			}
+	}
+	for p := 0; p < cfg.Nodes; p++ {
+		if t := eg[p] / cfg.Bandwidth; t > lb {
+			lb = t
 		}
-		for p := 0; p < cfg.Nodes; p++ {
-			if t := eg[p] / cfg.Bandwidth; t > lb {
-				lb = t
-			}
-			if t := in[p] / cfg.Bandwidth; t > lb {
-				lb = t
-			}
+		if t := in[p] / cfg.Bandwidth; t > lb {
+			lb = t
 		}
-		for si, sc := range chaosSchedulers() {
-			policy := chaosPolicies[(seed+si)%len(chaosPolicies)]
-			tag := fmt.Sprintf("seed=%d sched=%s policy=%s", seed, sc.name, policy)
+	}
+	for si, sc := range chaosSchedulers() {
+		policy := chaosPolicies[(seed+si)%len(chaosPolicies)]
+		tag := fmt.Sprintf("seed=%d sched=%s policy=%s", seed, sc.name, policy)
 
-			clean, err := netsim.NewSimulator(fabric, sc.mk()).Run(cloneCoflows(base))
-			if err != nil {
-				fail("%s: fault-free run errored: %v", tag, err)
-				continue
-			}
+		clean, err := netsim.NewSimulator(fabric, sc.mk()).Run(cloneCoflows(base))
+		if err != nil {
+			fail("%s: fault-free run errored: %v", tag, err)
+			continue
+		}
 
-			sim := netsim.NewSimulator(fabric, sc.mk())
-			sim.Failures = faults
-			sim.Retransmit = policy
-			cfs := cloneCoflows(base)
-			rep, err := sim.Run(cfs)
-			res.Runs++
-			if err != nil {
-				fail("%s: faulted run errored: %v", tag, err)
-				continue
+		sim := netsim.NewSimulator(fabric, sc.mk())
+		sim.Failures = faults
+		sim.Retransmit = policy
+		cfs := cloneCoflows(base)
+		rep, err := sim.Run(cfs)
+		res.runs++
+		if err != nil {
+			fail("%s: faulted run errored: %v", tag, err)
+			continue
+		}
+		for _, c := range cfs {
+			if !c.Completed {
+				fail("%s: coflow %d never completed", tag, c.ID)
 			}
-			for _, c := range cfs {
-				if !c.Completed {
-					fail("%s: coflow %d never completed", tag, c.ID)
-				}
+		}
+		// Byte conservation: wire traffic = delivered + wasted. The
+		// tolerance absorbs the engine's sub-microbyte completion
+		// epsilon across flows.
+		if want := totalSize + rep.WastedBytes; math.Abs(rep.TotalBytes-want) > 1e-3*(1+want) {
+			fail("%s: conservation broken: wire %g != delivered %g + wasted %g",
+				tag, rep.TotalBytes, totalSize, rep.WastedBytes)
+		}
+		if rep.Makespan < lb-1e-9 {
+			fail("%s: faulted makespan %g beats bandwidth lower bound %g", tag, rep.Makespan, lb)
+		}
+		if rep.Makespan < clean.Makespan*(1-anomalyTol) {
+			fail("%s: faulted makespan %g beats fault-free %g beyond the %g anomaly allowance",
+				tag, rep.Makespan, clean.Makespan, anomalyTol)
+		}
+		for _, out := range rep.Failures {
+			if !out.Recovered {
+				fail("%s: port %d failure at t=%g never recovered", tag, out.Port, out.Down)
 			}
-			// Byte conservation: wire traffic = delivered + wasted. The
-			// tolerance absorbs the engine's sub-microbyte completion
-			// epsilon across flows.
-			if want := totalSize + rep.WastedBytes; math.Abs(rep.TotalBytes-want) > 1e-3*(1+want) {
-				fail("%s: conservation broken: wire %g != delivered %g + wasted %g",
-					tag, rep.TotalBytes, totalSize, rep.WastedBytes)
-			}
-			if rep.Makespan < lb-1e-9 {
-				fail("%s: faulted makespan %g beats bandwidth lower bound %g", tag, rep.Makespan, lb)
-			}
-			if rep.Makespan < clean.Makespan*(1-anomalyTol) {
-				fail("%s: faulted makespan %g beats fault-free %g beyond the %g anomaly allowance",
-					tag, rep.Makespan, clean.Makespan, anomalyTol)
-			}
-			for _, out := range rep.Failures {
-				if !out.Recovered {
-					fail("%s: port %d failure at t=%g never recovered", tag, out.Port, out.Down)
-				}
-			}
-			res.TotalWasted += rep.WastedBytes
-			for _, r := range rep.Restarts {
-				res.TotalRestarts += r
-			}
-			if clean.Makespan > 0 {
-				if ratio := rep.Makespan / clean.Makespan; ratio > res.MaxSlowdown {
-					res.MaxSlowdown = ratio
-				}
+		}
+		res.wasted += rep.WastedBytes
+		for _, r := range rep.Restarts {
+			res.restarts += r
+		}
+		if clean.Makespan > 0 {
+			if ratio := rep.Makespan / clean.Makespan; ratio > res.maxSlowdown {
+				res.maxSlowdown = ratio
 			}
 		}
 	}
-	return res, nil
+	return res
 }

@@ -7,8 +7,8 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
+	"ccf/internal/parallel"
 	"ccf/internal/stats"
 	"ccf/internal/workload"
 )
@@ -36,6 +36,12 @@ type SweepOptions struct {
 	ShuffleRanks bool
 	// UseEventSim switches CCT measurement to the flow-level simulator.
 	UseEventSim bool
+	// Workers bounds the sweep's x-point parallelism: 1 forces the serial
+	// path, 0 keeps the library default min(GOMAXPROCS, 4) — each point holds
+	// an n×p matrix, ≈120 MB at the paper's 1000-node shape, so "all cores"
+	// is not a safe default for memory. Results are identical at any value
+	// (points are independent and aggregated in axis order).
+	Workers int
 }
 
 func (o SweepOptions) withDefaults() SweepOptions {
@@ -82,56 +88,38 @@ func sweep(title, xlabel string, xs []float64, pointCfg func(x float64) workload
 	timeVals := map[Approach][]float64{}
 	runOpts := Options{Bandwidth: opts.Bandwidth, UseEventSim: opts.UseEventSim}
 
-	// X points are independent experiments; run them concurrently with a
-	// small worker bound (each point holds an n×p matrix, ≈120 MB at the
-	// paper's 1000-node shape) and collect results in axis order.
-	type pointOut struct {
-		results map[Approach]*Result
-		err     error
-	}
-	outs := make([]pointOut, len(xs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 4 {
-		workers = 4
-	}
-	if workers > len(xs) {
-		workers = len(xs)
-	}
-	var wg sync.WaitGroup
-	idxCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				x := xs[i]
-				wl, err := workload.Generate(pointCfg(x))
-				if err != nil {
-					outs[i] = pointOut{err: fmt.Errorf("core: %s at %s=%g: %w", title, xlabel, x, err)}
-					continue
-				}
-				results, err := RunAll(wl, runOpts)
-				if err != nil {
-					outs[i] = pointOut{err: fmt.Errorf("core: %s at %s=%g: %w", title, xlabel, x, err)}
-					continue
-				}
-				outs[i] = pointOut{results: results}
-			}
-		}()
-	}
-	for i := range xs {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
-
-	for _, out := range outs {
-		if out.err != nil {
-			return nil, out.err
+	// X points are independent experiments; run them through the worker pool
+	// and collect results in axis order (parallel.Run aggregates by input
+	// index, so the series fold below performs the same appends the serial
+	// loop did). The default worker bound stays small — each point holds an
+	// n×p matrix, ≈120 MB at the paper's 1000-node shape.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4
 		}
+	}
+	outs, err := parallel.Run(workers, len(xs), func(i int) (map[Approach]*Result, error) {
+		x := xs[i]
+		wl, err := workload.Generate(pointCfg(x))
+		if err != nil {
+			return nil, fmt.Errorf("core: %s at %s=%g: %w", title, xlabel, x, err)
+		}
+		results, err := RunAll(wl, runOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s at %s=%g: %w", title, xlabel, x, err)
+		}
+		return results, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, results := range outs {
 		for _, a := range approaches {
-			trafficVals[a] = append(trafficVals[a], out.results[a].TrafficGB())
-			timeVals[a] = append(timeVals[a], out.results[a].TimeSec)
+			trafficVals[a] = append(trafficVals[a], results[a].TrafficGB())
+			timeVals[a] = append(timeVals[a], results[a].TimeSec)
 		}
 	}
 	for _, a := range approaches {
@@ -144,7 +132,6 @@ func sweep(title, xlabel string, xs []float64, pointCfg func(x float64) workload
 	}
 
 	fr := &FigureResult{Traffic: traffic, Time: times}
-	var err error
 	if fr.SpeedupOverHash, err = stats.Speedups(
 		stats.Series{Label: "Hash", Values: timeVals[ApproachHash]},
 		stats.Series{Label: "CCF", Values: timeVals[ApproachCCF]}); err != nil {

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"ccf/internal/netsim"
+	"ccf/internal/parallel"
 	"ccf/internal/telemetry"
 )
 
@@ -21,6 +22,9 @@ type TelemetryConfig struct {
 	Nodes     int     // fabric ports (default 12)
 	Coflows   int     // coflows in the online workload (default 16)
 	Bandwidth float64 // bytes/sec (default 100: second-scale runs)
+	// Workers bounds scheduler-level parallelism (1 = serial, 0 =
+	// GOMAXPROCS). Rows come back in the fixed scheduler order either way.
+	Workers int
 }
 
 func (c *TelemetryConfig) defaults() {
@@ -55,21 +59,24 @@ func TelemetryExperiment(cfg TelemetryConfig) ([]TelemetryRow, error) {
 		return nil, err
 	}
 	base := chaosWorkload(rand.New(rand.NewSource(cfg.Seed)), cfg.Nodes, cfg.Coflows)
-	rows := make([]TelemetryRow, 0, len(chaosSchedulers()))
-	for _, sc := range chaosSchedulers() {
+	scheds := chaosSchedulers()
+	// Schedulers are independent runs over clones of the same workload; the
+	// pool returns rows indexed by scheduler position, preserving the fixed
+	// output order at any worker count.
+	return parallel.Run(cfg.Workers, len(scheds), func(i int) (TelemetryRow, error) {
+		sc := scheds[i]
 		rec := telemetry.NewRecorder(telemetry.Config{})
 		sim := netsim.NewSimulator(fabric, sc.mk())
 		sim.Probe = rec
 		rep, err := sim.Run(cloneCoflows(base))
 		if err != nil {
-			return nil, fmt.Errorf("telemetry experiment: scheduler %s: %w", sc.name, err)
+			return TelemetryRow{}, fmt.Errorf("telemetry experiment: scheduler %s: %w", sc.name, err)
 		}
-		rows = append(rows, TelemetryRow{
+		return TelemetryRow{
 			Scheduler: sc.name,
 			Makespan:  rep.Makespan,
 			AvgCCT:    rep.AvgCCT,
 			Summary:   rec.Summary(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

@@ -166,6 +166,11 @@ func (ss *Session) begin(s *Simulator, rep *Report) error {
 	}
 	sc.failEv = failEv
 	ss.obs, _ = s.sched.(coflow.CapacityObserver)
+	// Propagate (or clear — a scheduler reused across differently-configured
+	// simulators must not keep stale sharding) the Tier-2 shard config.
+	if st, ok := s.sched.(coflow.ShardTunable); ok {
+		st.SetShard(s.shardOptions())
+	}
 	if s.Probe != nil && len(sc.probeEg) < ports {
 		sc.probeEg = make([]float64, ports)
 		sc.probeIn = make([]float64, ports)

@@ -1,0 +1,118 @@
+package netsim_test
+
+// Tier-2 equivalence: the sharded MADD / water-filling / re-key passes must
+// be *bit-identical* to the serial code at every worker count. The sharded
+// passes only split operations that are exact under any split (elementwise
+// disjoint writes, integer accumulation, max/min reductions, and per-port
+// replay of identical subtractions); every flow-ordered float accumulation
+// stays serial. So the comparison below is exact equality on every Report
+// and per-flow field — no epsilons — across the full 64-seed × 8-scheduler
+// matrix at worker counts that both divide and exceed the tiny test fabrics.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ccf/internal/netsim"
+	"ccf/internal/parallel"
+)
+
+func TestShardedMatchesSerial(t *testing.T) {
+	const seeds = 64
+	for _, pair := range schedPairs {
+		pair := pair
+		t.Run(pair.name, func(t *testing.T) {
+			for _, workers := range []int{2, 7} {
+				for seed := int64(0); seed < seeds; seed++ {
+					spec := randomSpec(rand.New(rand.NewSource(seed)), pair.deadlines)
+					fab := spec.fabric(t)
+
+					serialCfs := spec.build()
+					serialSim := netsim.NewSimulator(fab, pair.prod())
+					serialSim.Events = spec.events
+					serialSim.Deps = spec.deps
+					if spec.horizon > 0 {
+						serialSim.Horizon = spec.horizon
+					}
+					serialRep, serialErr := serialSim.Run(serialCfs)
+
+					shardCfs := spec.build()
+					shardSim := netsim.NewSimulator(fab, pair.prod())
+					shardSim.Events = spec.events
+					shardSim.Deps = spec.deps
+					if spec.horizon > 0 {
+						shardSim.Horizon = spec.horizon
+					}
+					// Force the sharded paths on: every test fabric is ≥ 2
+					// ports and every pass sees ≥ 1 flow.
+					shardSim.ShardWorkers = workers
+					shardSim.ShardMinPorts = 1
+					shardSim.ShardMinFlows = 1
+					shardRep, shardErr := shardSim.Run(shardCfs)
+
+					tag := fmt.Sprintf("%s/workers=%d/seed=%d", pair.name, workers, seed)
+					compareRuns(t, tag, &spec, shardCfs, serialCfs, shardRep, serialRep, shardErr, serialErr)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedReusedSchedulerClearsConfig pins the Session.begin contract: a
+// scheduler instance moved from a sharded simulator to a plain one must not
+// keep the stale shard config (and vice versa). Both orders must still match
+// a fresh serial run exactly.
+func TestShardedReusedSchedulerClearsConfig(t *testing.T) {
+	for _, pair := range schedPairs {
+		pair := pair
+		t.Run(pair.name, func(t *testing.T) {
+			spec := randomSpec(rand.New(rand.NewSource(7)), pair.deadlines)
+			fab := spec.fabric(t)
+
+			serialCfs := spec.build()
+			serialRep, serialErr := netsim.NewSimulator(fab, pair.prod()).Run(serialCfs)
+
+			// One scheduler instance: sharded run first, then a plain
+			// simulator that must clear the shard config on begin.
+			sched := pair.prod()
+			shardSim := netsim.NewSimulator(fab, sched)
+			shardSim.ShardWorkers = 4
+			shardSim.ShardMinPorts = 1
+			shardSim.ShardMinFlows = 1
+			if _, err := shardSim.Run(spec.build()); (err != nil) != (serialErr != nil) {
+				t.Fatalf("sharded warm-up error mismatch: %v vs %v", err, serialErr)
+			}
+			plainCfs := spec.build()
+			plainRep, plainErr := netsim.NewSimulator(fab, sched).Run(plainCfs)
+			compareRuns(t, pair.name+"/after-sharded", &spec,
+				plainCfs, serialCfs, plainRep, serialRep, plainErr, serialErr)
+		})
+	}
+}
+
+// TestTierOneTierTwoRace exercises both tiers at once for the race detector:
+// a Tier-1 worker pool over all 8 schedulers, each task running a Tier-2
+// sharded simulation. Any cross-shard or cross-worker data race (shared
+// scratch, shard buffers, scheduler state) trips -race in CI.
+func TestTierOneTierTwoRace(t *testing.T) {
+	spec := randomSpec(rand.New(rand.NewSource(42)), false)
+	// Keep the randomized shape but drop capacity events: a full-port outage
+	// legitimately stalls the run, and this test asserts race-freedom, not
+	// outage handling (the equivalence matrix covers that).
+	spec.events = nil
+	fab := spec.fabric(t)
+	err := parallel.ForEach(4, len(schedPairs), func(i int) error {
+		pair := schedPairs[i]
+		sim := netsim.NewSimulator(fab, pair.prod())
+		sim.Deps = spec.deps
+		sim.ShardWorkers = 3
+		sim.ShardMinPorts = 1
+		sim.ShardMinFlows = 1
+		_, err := sim.Run(spec.build())
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
