@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"ccf/internal/bound"
 	"ccf/internal/core"
@@ -37,7 +38,7 @@ func main() {
 		exp = flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, motivating, "+
 			"ablation-rank, ablation-pmult, ablation-sort, ablation-exact, "+
 			"ablation-hetero, ablation-topo, ablation-bound, netsim-bench, online-bench, "+
-			"chaos, recovery, telemetry")
+			"chaos, recovery, telemetry, service-load, service-smoke")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper's ≈1 TB)")
 		bandwidth  = flag.Float64("bw", 0, "port bandwidth in bytes/sec (0 = CoflowSim default 128 MB/s)")
 		csvDir     = flag.String("csv", "", "directory to write per-panel CSV files (empty = none)")
@@ -53,6 +54,15 @@ func main() {
 		benchCoflows = flag.Int("benchcoflows", 64, "coflows for the netsim-bench sharded-run rows (each carries ports/2 flows)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+
+		serviceJSON   = flag.String("servicejson", "BENCH_service.json", "output path for the service-load experiment's JSON")
+		serviceDir    = flag.String("servicedir", "", "state directory for the service-load pool (empty = fresh temp dir)")
+		serviceURL    = flag.String("serviceurl", "", "base URL of a running ccfd for the service-smoke experiment")
+		serviceJobs   = flag.Int("servicejobs", 100, "jobs the service-smoke driver submits")
+		serviceOffset = flag.Int("serviceoffset", 0, "first job index of the service-smoke stream (resume point after a restart)")
+		serviceNodes  = flag.Int("servicenodes", 100, "fabric size of the target daemon for service-smoke job specs")
+		smokeOut      = flag.String("smokeout", "SMOKE_decisions.jsonl", "decision JSONL the service-smoke driver appends to")
+		serviceWait   = flag.Duration("servicewait", 30*time.Second, "how long service-smoke waits for the daemon to become ready")
 	)
 	flag.Parse()
 	chartPanels = *chart
@@ -164,6 +174,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *exp == "service-load" {
+		fmt.Println("service-load: daemon under steady load, overload, and kill+restart:")
+		if err := serviceLoadExp(*serviceJSON, *serviceDir); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: service-load: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "service-smoke" {
+		if err := serviceSmokeExp(*serviceURL, *serviceJobs, *serviceOffset, *serviceNodes, *smokeOut, *serviceWait); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: service-smoke: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // knownExperiments lists every value -exp accepts; anything else exits
@@ -174,6 +197,7 @@ var knownExperiments = map[string]bool{
 	"ablation-exact": true, "ablation-hetero": true, "ablation-topo": true,
 	"ablation-bound": true, "netsim-bench": true, "online-bench": true,
 	"chaos": true, "recovery": true, "telemetry": true,
+	"service-load": true, "service-smoke": true,
 }
 
 // validateBenchFlags rejects nonsensical knob values with a one-line message

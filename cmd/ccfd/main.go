@@ -1,0 +1,109 @@
+// ccfd is the co-optimizer daemon: the streaming engine of internal/core
+// wrapped in a crash-safe HTTP/JSON service (internal/service). One process
+// serves a pool of sharded engines with admission control, write-ahead
+// logging and periodic snapshots; kill it at any point and a restart from
+// the same -dir resumes byte-identical decisions.
+//
+// Usage:
+//
+//	ccfd -addr :8080 -dir /var/lib/ccfd -nodes 100 -shards 4
+//
+// Endpoints: POST /v1/jobs, GET /healthz, GET /readyz, GET /stats,
+// GET /v1/state, POST /v1/snapshot. See DESIGN.md §13.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccf/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		nodes     = flag.Int("nodes", 100, "fabric size each shard engine spans")
+		shards    = flag.Int("shards", 4, "independent engine shards (jobs are hashed to shards by key)")
+		queue     = flag.Int("queue", 64, "per-shard admission queue depth (full queue sheds with 429)")
+		dir       = flag.String("dir", "", "state directory for snapshots and WALs (empty = no persistence)")
+		snapEvery = flag.Int("snapshot-every", 64, "snapshot (compact the WAL) every this many jobs per shard")
+		deadline  = flag.Duration("deadline", 5*time.Second, "per-request processing deadline")
+		degrade   = flag.Duration("degrade-after", 250*time.Millisecond,
+			"queue wait beyond which a job takes the degraded placement-only path (<0 disables)")
+		retryAfter = flag.Duration("retry-after", 50*time.Millisecond, "backoff hint sent with shed (429) responses")
+		bw         = flag.Float64("bw", 0, "port bandwidth in bytes/sec (0 = simulator default)")
+		coopt      = flag.Bool("coopt", true, "co-optimize placements against the in-flight backlog")
+		netsched   = flag.String("netsched", "varys", "network coflow scheduler: varys, aalo, fifo, scf, ncf")
+		walSync    = flag.Bool("wal-sync", false, "fsync the WAL after every append (survives OS crashes, not just process kills)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "graceful-shutdown budget before the process exits anyway")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ccfd: ", log.LstdFlags|log.Lmicroseconds)
+	pool, err := service.NewPool(service.Config{
+		Shards:        *shards,
+		Nodes:         *nodes,
+		QueueDepth:    *queue,
+		Dir:           *dir,
+		SnapshotEvery: *snapEvery,
+		DegradeAfter:  *degrade,
+		RetryAfter:    *retryAfter,
+		WALSync:       *walSync,
+		Engine: service.EngineConfig{
+			Bandwidth:        *bw,
+			CoOptimize:       *coopt,
+			NetworkScheduler: *netsched,
+		},
+		Logf: logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccfd:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	if err := pool.Start(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ccfd: start:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewHandler(pool, service.HTTPConfig{RequestTimeout: *deadline}),
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s (%d shards x %d nodes, dir=%q)", *addr, *shards, *nodes, *dir)
+
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop taking connections, then drain the pool —
+		// queued jobs finish, a final snapshot compacts each shard's WAL.
+		logger.Printf("signal received, draining (grace %v)", *drainGrace)
+		grace, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := srv.Shutdown(grace); err != nil {
+			logger.Printf("http shutdown: %v", err)
+		}
+		if err := pool.Drain(grace); err != nil {
+			logger.Printf("drain: %v", err)
+			os.Exit(1)
+		}
+		logger.Printf("drained cleanly")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "ccfd: serve:", err)
+			os.Exit(1)
+		}
+	}
+}

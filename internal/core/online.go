@@ -33,6 +33,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"ccf/internal/coflow"
@@ -52,7 +53,36 @@ type OnlineJob struct {
 	Scheduler placement.Scheduler
 	// HandleSkew applies partial duplication before placement.
 	HandleSkew bool
+	// PlacementOnly skips the backlog probe for this job even when the
+	// engine co-optimizes: the job is placed against an idle network and
+	// admitted without advancing the session. This is the daemon's
+	// load-shedding path — a degraded decision beats a timed-out one — and
+	// the flag is recorded in its write-ahead log so replay repeats the
+	// same degraded placements bit for bit.
+	PlacementOnly bool
 }
+
+// ErrArrivalOutOfOrder reports a job submitted with an arrival earlier than
+// the engine clock (the previous submission's arrival). The live session
+// only moves forward in time, so an out-of-order arrival cannot be admitted
+// as-is; concurrent intakes (the daemon) catch this with errors.Is and lift
+// the arrival to the clock instead. Returned wrapped in *ArrivalOrderError.
+var ErrArrivalOutOfOrder = errors.New("core: job arrives before engine clock")
+
+// ArrivalOrderError carries the details of an out-of-order submission; it
+// unwraps to ErrArrivalOutOfOrder.
+type ArrivalOrderError struct {
+	Job     int     // submission index of the rejected job
+	Arrival float64 // the job's arrival
+	Clock   float64 // the engine clock it fell behind
+}
+
+func (e *ArrivalOrderError) Error() string {
+	return fmt.Sprintf("core: online job %d arrives at %g, before the engine clock %g (submit in arrival order)",
+		e.Job, e.Arrival, e.Clock)
+}
+
+func (e *ArrivalOrderError) Unwrap() error { return ErrArrivalOutOfOrder }
 
 // OnlineOptions configure an online run.
 type OnlineOptions struct {
@@ -160,8 +190,7 @@ func (e *OnlineEngine) Submit(job OnlineJob) (*OnlineDecision, error) {
 		return nil, fmt.Errorf("core: online job %d has negative arrival %g", ji, job.Arrival)
 	}
 	if job.Arrival < e.lastArr {
-		return nil, fmt.Errorf("core: online job %d arrives at %g, before the previous arrival %g (submit in arrival order)",
-			ji, job.Arrival, e.lastArr)
+		return nil, &ArrivalOrderError{Job: ji, Arrival: job.Arrival, Clock: e.lastArr}
 	}
 	e.lastArr = job.Arrival
 
@@ -183,7 +212,7 @@ func (e *OnlineEngine) Submit(job OnlineJob) (*OnlineDecision, error) {
 	}
 
 	dec := &OnlineDecision{Job: ji}
-	if e.opts.CoOptimize && len(e.jobs) > 0 {
+	if e.opts.CoOptimize && !job.PlacementOnly && len(e.jobs) > 0 {
 		// What does the network look like when this job arrives? Advance
 		// the one live simulation from the previous arrival and read the
 		// outstanding bytes per port in place.
@@ -257,6 +286,32 @@ func (e *OnlineEngine) Finish() (*OnlineReport, error) {
 		out.AvgCCT /= float64(len(e.jobs))
 	}
 	return out, nil
+}
+
+// Clock returns the engine clock: the arrival of the latest submitted job
+// (0 before any submission). Submissions with earlier arrivals are rejected
+// with ErrArrivalOutOfOrder.
+func (e *OnlineEngine) Clock() float64 { return e.lastArr }
+
+// JobCount returns the number of jobs admitted so far.
+func (e *OnlineEngine) JobCount() int { return len(e.jobs) }
+
+// CompletedJobs returns how many admitted jobs had finished their transfers
+// the last time the live session advanced (only the co-optimized path moves
+// the session between submissions, so a placement-oblivious engine reports 0
+// until Finish).
+func (e *OnlineEngine) CompletedJobs() int { return len(e.ses.Report().CCTs) }
+
+// StateDigest fingerprints the engine's full deterministic state — the
+// session's clock and per-flow progress plus the engine clock and admission
+// count — so a snapshot/restore cycle can prove the restored engine is
+// byte-identical to the one that wrote the snapshot.
+func (e *OnlineEngine) StateDigest() uint64 {
+	d := e.ses.Digest()
+	d ^= 0x9e3779b97f4a7c15 * uint64(len(e.jobs))
+	d = (d << 7) | (d >> 57)
+	d ^= math.Float64bits(e.lastArr)
+	return d
 }
 
 // RunOnline places and simulates a stream of jobs.

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ccf/internal/workload"
+)
+
+func onlineOrderTestJob(t *testing.T, name string, arrival float64, seed uint64) OnlineJob {
+	t.Helper()
+	w, err := workload.Generate(workload.Config{
+		Nodes: 4, CustomerTuples: 100, OrderTuples: 1_000,
+		PayloadBytes: 1000, Zipf: 0.8, Seed: seed, JitterFrac: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return OnlineJob{Name: name, Arrival: arrival, Workload: w}
+}
+
+// The daemon's concurrent intake can reorder arrivals; the engine must fail
+// such a submission with a typed error the caller can match and recover
+// from, never a panic or a silent skip.
+func TestSubmitOutOfOrderArrivalTypedError(t *testing.T) {
+	eng, err := NewOnlineEngine(4, OnlineOptions{CoOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Submit(onlineOrderTestJob(t, "a", 2.0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Submit(onlineOrderTestJob(t, "b", 1.0, 2))
+	if err == nil {
+		t.Fatal("out-of-order submission succeeded, want error")
+	}
+	if !errors.Is(err, ErrArrivalOutOfOrder) {
+		t.Fatalf("error %v does not match ErrArrivalOutOfOrder", err)
+	}
+	var oe *ArrivalOrderError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %v is not an *ArrivalOrderError", err)
+	}
+	if oe.Job != 1 || oe.Arrival != 1.0 || oe.Clock != 2.0 {
+		t.Fatalf("got details %+v, want job 1 arriving at 1 behind clock 2", oe)
+	}
+	// A wrapped error must still match, the way the daemon sees it after
+	// adding request context.
+	wrapped := fmt.Errorf("shard 3: %w", err)
+	if !errors.Is(wrapped, ErrArrivalOutOfOrder) {
+		t.Fatalf("wrapped error %v lost the sentinel", wrapped)
+	}
+
+	// The rejection must not corrupt engine state: lifting the arrival to
+	// the clock (the daemon's recovery) succeeds and the engine keeps going.
+	lifted := onlineOrderTestJob(t, "b", 1.0, 2)
+	lifted.Arrival = eng.Clock()
+	if _, err := eng.Submit(lifted); err != nil {
+		t.Fatalf("lifted resubmission failed: %v", err)
+	}
+	if got := eng.JobCount(); got != 2 {
+		t.Fatalf("JobCount = %d after reject+lift, want 2", got)
+	}
+	if _, err := eng.Finish(); err != nil {
+		t.Fatalf("Finish after recovered rejection: %v", err)
+	}
+}
+
+// PlacementOnly must skip the backlog probe (the decision sees an idle
+// network) while still admitting the job into the live session.
+func TestSubmitPlacementOnlySkipsBacklogProbe(t *testing.T) {
+	eng, err := NewOnlineEngine(4, OnlineOptions{CoOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Submit(onlineOrderTestJob(t, "a", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	job := onlineOrderTestJob(t, "b", 0.001, 2)
+	job.PlacementOnly = true
+	dec, err := eng.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Backlog.Egress != nil || dec.Backlog.Ingress != nil {
+		t.Fatalf("degraded decision reported a backlog: %+v", dec.Backlog)
+	}
+	if got := eng.JobCount(); got != 2 {
+		t.Fatalf("JobCount = %d, want 2 (degraded job still admitted)", got)
+	}
+	rep, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CCTs) != 2 || rep.CCTs[1] <= 0 {
+		t.Fatalf("degraded job did not simulate: CCTs=%v", rep.CCTs)
+	}
+}
+
+// Two engines fed the same stream digest identically; diverging streams
+// diverge. This is the primitive the snapshot/restore determinism test
+// builds on.
+func TestStateDigestTracksEngineState(t *testing.T) {
+	mk := func() *OnlineEngine {
+		eng, err := NewOnlineEngine(4, OnlineOptions{CoOptimize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	a, b := mk(), mk()
+	if a.StateDigest() != b.StateDigest() {
+		t.Fatal("fresh engines digest differently")
+	}
+	for i := 0; i < 4; i++ {
+		job := onlineOrderTestJob(t, fmt.Sprintf("j%d", i), 0.01*float64(i), uint64(i))
+		if _, err := a.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+		job2 := onlineOrderTestJob(t, fmt.Sprintf("j%d", i), 0.01*float64(i), uint64(i))
+		if _, err := b.Submit(job2); err != nil {
+			t.Fatal(err)
+		}
+		if a.StateDigest() != b.StateDigest() {
+			t.Fatalf("digests diverged on identical streams after job %d", i)
+		}
+	}
+	extra := onlineOrderTestJob(t, "extra", 1.0, 99)
+	if _, err := a.Submit(extra); err != nil {
+		t.Fatal(err)
+	}
+	if a.StateDigest() == b.StateDigest() {
+		t.Fatal("digest did not change when streams diverged")
+	}
+}

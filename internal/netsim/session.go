@@ -288,6 +288,60 @@ func (ss *Session) Finish() (*Report, error) {
 // Now returns the session's current simulation time.
 func (ss *Session) Now() float64 { return ss.now }
 
+// AdmittedCount returns how many coflows have been admitted to the session
+// (pending, active, or completed).
+func (ss *Session) AdmittedCount() int { return len(ss.all) }
+
+// CompletedCount returns how many admitted coflows have completed so far.
+func (ss *Session) CompletedCount() int {
+	if ss.rep == nil {
+		return 0
+	}
+	return len(ss.rep.CCTs)
+}
+
+// Digest fingerprints the session's deterministic simulation state with
+// FNV-1a over the clock and every admitted coflow's flow progress (remaining
+// bytes, done flags, completion state). Two sessions that took the same
+// admissions and boundary stops digest identically; the service layer uses
+// this to prove a snapshot-restored engine resumed byte-identical state.
+func (ss *Session) Digest() uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(math.Float64bits(ss.now))
+	mix(uint64(len(ss.all)))
+	for _, c := range ss.all {
+		mix(uint64(c.ID))
+		mix(math.Float64bits(c.Arrival))
+		if c.Completed {
+			mix(1)
+			mix(math.Float64bits(c.Completion))
+		} else {
+			mix(0)
+		}
+		mix(uint64(len(c.Flows)))
+		for _, f := range c.Flows {
+			mix(math.Float64bits(f.Remaining))
+			if f.Done {
+				mix(1)
+			} else {
+				mix(0)
+			}
+		}
+	}
+	return h
+}
+
 // Report exposes the session's running report: CCTs of coflows completed so
 // far, epoch and byte counters, failure outcomes. Read-only; Makespan and
 // the CCT aggregates are only filled by Finish.

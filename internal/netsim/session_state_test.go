@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"testing"
+
+	"ccf/internal/coflow"
+)
+
+// The session state accessors back the service layer's snapshots and stats:
+// counts track admissions/completions, and the digest distinguishes any two
+// sessions whose flow progress differs.
+func TestSessionStateAccessors(t *testing.T) {
+	fabric, err := NewFabric(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() (*Session, []*coflow.Coflow) {
+		sim := NewSimulator(fabric, coflow.NewVarys())
+		ses, err := sim.Session()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := coflow.FromVolumes(0, "a", 0, 4, []int64{0, 400, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := coflow.FromVolumes(1, "b", 1, 4, []int64{0, 0, 800, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ses, []*coflow.Coflow{a, b}
+	}
+
+	ses, cfs := mk()
+	if ses.AdmittedCount() != 0 || ses.CompletedCount() != 0 {
+		t.Fatalf("fresh session reports %d admitted / %d completed", ses.AdmittedCount(), ses.CompletedCount())
+	}
+	base := ses.Digest()
+	for _, c := range cfs {
+		if err := ses.Admit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ses.AdmittedCount() != 2 {
+		t.Fatalf("AdmittedCount = %d, want 2", ses.AdmittedCount())
+	}
+	if ses.Digest() == base {
+		t.Fatal("digest unchanged by admissions")
+	}
+
+	// A twin session fed the same coflows digests identically at every stop.
+	twin, twinCfs := mk()
+	for _, c := range twinCfs {
+		if err := twin.Admit(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, stop := range []float64{1, 5, 20} {
+		if err := ses.Advance(stop); err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.Advance(stop); err != nil {
+			t.Fatal(err)
+		}
+		if ses.Digest() != twin.Digest() {
+			t.Fatalf("twin sessions diverged at stop %g", stop)
+		}
+	}
+	if ses.CompletedCount() != 2 {
+		t.Fatalf("CompletedCount = %d after draining run, want 2", ses.CompletedCount())
+	}
+}

@@ -1,0 +1,164 @@
+package service
+
+// HTTP/JSON surface of the daemon. Thin by design: every handler either
+// reads lock-free published state (health, readiness, stats) or delegates to
+// Pool.Submit, which owns the admission-control semantics. The liveness and
+// readiness probes never touch a shard goroutine, so they stay fast — sub-
+// millisecond — even when every queue is full (the overload test pins p99
+// health latency under 100ms at 10x load).
+//
+//	POST /v1/jobs      submit one JobSpec, returns a Decision
+//	GET  /healthz      liveness: process is up and serving
+//	GET  /readyz       readiness: 200 only when every shard can take work
+//	GET  /stats        queue depths, latency percentiles, shed counters
+//	GET  /v1/state     per-shard engine state digests (determinism probe)
+//	POST /v1/snapshot  force an immediate snapshot on every shard
+//
+// Error envelope: {"error": "...", "retry_after_ms": N} with the HTTP
+// status carrying the class — 400 bad job, 429 shed (plus a Retry-After
+// header), 503 draining/fenced, 504 deadline.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxJobBody bounds a submission body (an explicit chunk matrix for a large
+// fabric is big; 8 MiB is far above anything the drivers send).
+const maxJobBody = 8 << 20
+
+// HTTPConfig tunes the handler.
+type HTTPConfig struct {
+	// RequestTimeout bounds each submission end to end (default 5s); the
+	// shard drops un-started work whose deadline passed instead of
+	// admitting jobs nobody is waiting for.
+	RequestTimeout time.Duration
+	// ControlTimeout bounds /v1/state and /v1/snapshot fan-outs (default
+	// 30s — a snapshot serializes behind in-flight decisions).
+	ControlTimeout time.Duration
+}
+
+func (c HTTPConfig) withDefaults() HTTPConfig {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.ControlTimeout <= 0 {
+		c.ControlTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// NewHandler builds the daemon's HTTP mux over a pool.
+func NewHandler(p *Pool, cfg HTTPConfig) http.Handler {
+	cfg = cfg.withDefaults()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		body := http.MaxBytesReader(w, r.Body, maxJobBody)
+		if err := json.NewDecoder(body).Decode(&spec); err != nil {
+			writeError(w, p, http.StatusBadRequest, fmt.Errorf("%w: body: %v", ErrBadJob, err))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), cfg.RequestTimeout)
+		defer cancel()
+		dec, err := p.Submit(ctx, spec)
+		if err != nil {
+			writeError(w, p, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, dec)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		st := p.Stats()
+		code := http.StatusOK
+		if !st.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		type shardReady struct {
+			Shard      int  `json:"shard"`
+			Ready      bool `json:"ready"`
+			QueueDepth int  `json:"queue_depth"`
+		}
+		out := struct {
+			Ready  bool         `json:"ready"`
+			Shards []shardReady `json:"shards"`
+		}{Ready: st.Ready}
+		for _, ss := range st.Shards {
+			out.Shards = append(out.Shards, shardReady{ss.Shard, ss.Ready, ss.QueueDepth})
+		}
+		writeJSON(w, code, out)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.Stats())
+	})
+	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), cfg.ControlTimeout)
+		defer cancel()
+		states, err := p.State(ctx)
+		if err != nil {
+			writeError(w, p, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"shards": states})
+	})
+	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), cfg.ControlTimeout)
+		defer cancel()
+		if err := p.SnapshotAll(ctx); err != nil {
+			writeError(w, p, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return mux
+}
+
+// statusFor maps submission errors onto the degradation ladder's statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrKilled), errors.Is(err, ErrShardFailed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadJob):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error        string `json:"error"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, p *Pool, code int, err error) {
+	body := errorBody{Error: err.Error()}
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		ra := p.RetryAfter()
+		body.RetryAfterMs = ra.Milliseconds()
+		// The standard header is second-granular; round up so zero never
+		// means "hammer me again immediately".
+		secs := int64(ra.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	writeJSON(w, code, body)
+}

@@ -1,0 +1,500 @@
+package service
+
+// One shard = one core.OnlineEngine owned by one goroutine, fed by a bounded
+// queue. Single ownership is the concurrency story: the engine, the WAL
+// writer and the admitted-spec history are touched only by the run loop, so
+// there is no lock around the simulator at all. Everything the HTTP layer
+// reads concurrently (/stats, /readyz) is published through atomics; the
+// only cross-goroutine handshakes are the queue itself, a small control
+// channel for snapshot/state requests, and per-request reply channels.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccf/internal/core"
+)
+
+// Submission failure modes, mapped to HTTP statuses by the handler.
+var (
+	// ErrOverloaded: the shard queue is full; retry after backing off (429).
+	ErrOverloaded = errors.New("service: shard queue full")
+	// ErrDraining: the daemon is shutting down gracefully (503).
+	ErrDraining = errors.New("service: daemon draining")
+	// ErrKilled: the daemon was killed with requests still queued (503).
+	ErrKilled = errors.New("service: daemon killed")
+	// ErrShardFailed: the shard could not persist its journal and has
+	// fenced itself off — its in-memory state is ahead of its log, so
+	// accepting more work would break the restore contract (503).
+	ErrShardFailed = errors.New("service: shard persistence failed")
+)
+
+// request is one queued submission.
+type request struct {
+	spec  JobSpec
+	ctx   context.Context
+	enq   time.Time
+	reply chan reply // buffered(1): the shard never blocks on a gone client
+}
+
+type reply struct {
+	dec *Decision
+	err error
+}
+
+// control messages reach the run loop out of band (not subject to queue
+// admission) so tests and operators can force snapshots and read state
+// digests without racing the engine.
+type control struct {
+	kind  int // ctlSnapshot or ctlState
+	reply chan ctlReply
+}
+
+const (
+	ctlSnapshot = iota
+	ctlState
+)
+
+type ctlReply struct {
+	state ShardState
+	err   error
+}
+
+// ShardState is the engine-owned state exposed for determinism checks.
+type ShardState struct {
+	Shard     int     `json:"shard"`
+	Seq       uint64  `json:"seq"`
+	Clock     float64 `json:"clock"`
+	Completed int     `json:"completed"`
+	Digest    uint64  `json:"digest"`
+}
+
+type shard struct {
+	id  int
+	cfg *Config
+	eng *core.OnlineEngine
+	wal *walWriter // nil when persistence is off
+	// seq counts admitted jobs (1-based WAL sequence); snapSeq is seq at
+	// the last committed snapshot. Run-loop-owned.
+	seq, snapSeq uint64
+	// specs is the effective record of every admitted job, in admission
+	// order — the snapshot payload. Run-loop-owned.
+	specs []JobSpec
+
+	// mu serialises queue sends against the close in drain/kill: senders
+	// hold RLock, the closer holds Lock, so no send can hit a closed
+	// channel.
+	mu       sync.RWMutex
+	queue    chan *request
+	ctl      chan control
+	draining bool
+
+	done  chan struct{} // closed when the run loop exits
+	crash atomic.Bool   // kill switch: skip processing and the final snapshot
+
+	ready  atomic.Bool
+	failed atomic.Bool // persistence failure fence
+
+	// Published mirrors of run-loop state, read lock-free by /stats.
+	pubSeq       atomic.Uint64
+	pubClock     atomic.Uint64 // math.Float64bits
+	pubCompleted atomic.Uint64
+	shed         atomic.Uint64
+	degraded     atomic.Uint64
+	lifted       atomic.Uint64
+	deadlineDrop atomic.Uint64
+	rejected     atomic.Uint64 // engine-level rejections (bad jobs)
+	snapSeqPub   atomic.Uint64
+	snapAtNanos  atomic.Int64
+
+	lat latencyRing
+}
+
+// latencyRing keeps the most recent decision latencies for percentile
+// reporting; a bounded window so /stats reflects current behaviour, not the
+// daemon's lifetime average.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [2048]float64 // seconds
+	pos int
+	n   int
+}
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.pos] = d.Seconds()
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// snapshotValues copies the window for percentile math.
+func (r *latencyRing) snapshotValues() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]float64, r.n)
+	if r.n == len(r.buf) {
+		copy(out, r.buf[r.pos:])
+		copy(out[len(r.buf)-r.pos:], r.buf[:r.pos])
+	} else {
+		copy(out, r.buf[:r.n])
+	}
+	return out
+}
+
+func newShard(id int, cfg *Config) *shard {
+	return &shard{
+		id:    id,
+		cfg:   cfg,
+		queue: make(chan *request, cfg.QueueDepth),
+		ctl:   make(chan control),
+		done:  make(chan struct{}),
+	}
+}
+
+// restore rebuilds the engine from disk: snapshot (if any) replayed and
+// digest-verified, then the WAL suffix. Called once, before the run loop
+// starts, from Pool.Start.
+func (sh *shard) restore() error {
+	eng, err := sh.cfg.Engine.newEngine(sh.cfg.Nodes)
+	if err != nil {
+		return err
+	}
+	sh.eng = eng
+	if sh.cfg.Dir == "" {
+		return nil
+	}
+
+	snap, err := readSnapshotFile(snapshotPath(sh.cfg.Dir, sh.id))
+	if err != nil {
+		return fmt.Errorf("shard %d: snapshot: %w", sh.id, err)
+	}
+	if snap != nil {
+		if snap.Shard != sh.id || snap.Nodes != sh.cfg.Nodes || snap.Engine != sh.cfg.Engine {
+			return fmt.Errorf("%w: shard %d: snapshot is for shard=%d nodes=%d engine=%+v",
+				ErrSnapshotMismatch, sh.id, snap.Shard, snap.Nodes, snap.Engine)
+		}
+		for i := range snap.Jobs {
+			if err := sh.replayJob(&snap.Jobs[i]); err != nil {
+				return fmt.Errorf("shard %d: snapshot job %d: %w", sh.id, i, err)
+			}
+		}
+		if got := sh.eng.StateDigest(); got != snap.Digest {
+			return fmt.Errorf("%w: shard %d: replayed digest %016x, snapshot recorded %016x",
+				ErrSnapshotMismatch, sh.id, got, snap.Digest)
+		}
+		sh.snapSeq = snap.Seq
+		sh.snapSeqPub.Store(snap.Seq)
+	}
+
+	_, torn, err := replayWAL(walPath(sh.cfg.Dir, sh.id), sh.seq, func(seq uint64, spec *JobSpec) error {
+		return sh.replayJob(spec)
+	})
+	if err != nil {
+		return fmt.Errorf("shard %d: wal: %w", sh.id, err)
+	}
+	_ = torn // a torn tail was never acknowledged; dropping it is correct
+
+	sh.wal, err = openWAL(walPath(sh.cfg.Dir, sh.id), sh.cfg.WALSync)
+	if err != nil {
+		return fmt.Errorf("shard %d: wal: %w", sh.id, err)
+	}
+	if torn || sh.seq > sh.snapSeq {
+		// Re-establish the invariant "WAL holds exactly (snapSeq, seq]":
+		// compact the restored state into a fresh snapshot so a torn tail
+		// or pre-crash suffix cannot confuse a second restart.
+		if err := sh.snapshot(); err != nil {
+			return fmt.Errorf("shard %d: post-restore snapshot: %w", sh.id, err)
+		}
+	}
+	sh.publish()
+	return nil
+}
+
+// replayJob re-admits one journaled record. The effective arrival was
+// resolved before journaling, so replay bypasses lifting entirely.
+func (sh *shard) replayJob(spec *JobSpec) error {
+	job, err := materialize(spec, sh.cfg.Nodes)
+	if err != nil {
+		return err
+	}
+	if _, err := sh.eng.Submit(job); err != nil {
+		return err
+	}
+	sh.seq++
+	sh.specs = append(sh.specs, *spec)
+	return nil
+}
+
+// run is the shard goroutine: control messages are served between jobs, the
+// queue drains until closed, and a graceful close ends with a final
+// snapshot. A crash-flagged close abandons the backlog (clients get
+// ErrKilled) and skips the snapshot — simulating kill -9 for state purposes
+// while keeping in-process tests leak-free.
+func (sh *shard) run() {
+	defer close(sh.done)
+	sh.ready.Store(true)
+	for {
+		select {
+		case c := <-sh.ctl:
+			sh.handleControl(c)
+			continue
+		default:
+		}
+		select {
+		case c := <-sh.ctl:
+			sh.handleControl(c)
+		case req, ok := <-sh.queue:
+			if !ok {
+				if !sh.crash.Load() {
+					sh.finalSnapshot()
+				}
+				if sh.wal != nil {
+					sh.wal.Close()
+				}
+				sh.ready.Store(false)
+				return
+			}
+			if sh.crash.Load() {
+				req.reply <- reply{err: ErrKilled}
+				continue
+			}
+			sh.process(req)
+			if sh.cfg.SnapshotEvery > 0 && sh.seq-sh.snapSeq >= uint64(sh.cfg.SnapshotEvery) {
+				sh.trySnapshot()
+			}
+		}
+	}
+}
+
+func (sh *shard) handleControl(c control) {
+	switch c.kind {
+	case ctlSnapshot:
+		var err error
+		if !sh.failed.Load() {
+			err = sh.snapshot()
+			if err != nil {
+				sh.fence(err)
+			}
+		} else {
+			err = ErrShardFailed
+		}
+		c.reply <- ctlReply{err: err, state: sh.state()}
+	case ctlState:
+		c.reply <- ctlReply{state: sh.state()}
+	}
+}
+
+func (sh *shard) state() ShardState {
+	return ShardState{
+		Shard:     sh.id,
+		Seq:       sh.seq,
+		Clock:     sh.eng.Clock(),
+		Completed: sh.eng.CompletedJobs(),
+		Digest:    sh.eng.StateDigest(),
+	}
+}
+
+// process admits one job: deadline check, shed decision, arrival
+// resolution (with typed-error lifting), engine submit, journal, reply.
+func (sh *shard) process(req *request) {
+	if req.ctx.Err() != nil {
+		// The client's deadline passed while the request sat in the queue;
+		// drop it before it touches the engine so the client's 504 is
+		// truthful: nothing was admitted.
+		sh.deadlineDrop.Add(1)
+		req.reply <- reply{err: context.Cause(req.ctx)}
+		return
+	}
+	if sh.failed.Load() {
+		req.reply <- reply{err: ErrShardFailed}
+		return
+	}
+
+	spec := req.spec // shard-local copy; the effective record being built
+	wait := time.Since(req.enq)
+	degradedByLoad := sh.cfg.DegradeAfter > 0 && wait > sh.cfg.DegradeAfter
+	if degradedByLoad {
+		spec.PlacementOnly = true
+	}
+
+	lifted := false
+	if spec.Arrival == nil {
+		now := sh.eng.Clock()
+		spec.Arrival = &now
+		lifted = true
+	}
+	job, err := materialize(&spec, sh.cfg.Nodes)
+	if err != nil {
+		sh.rejected.Add(1)
+		req.reply <- reply{err: err}
+		return
+	}
+	dec, err := sh.eng.Submit(job)
+	if errors.Is(err, core.ErrArrivalOutOfOrder) {
+		// Concurrent intake reordered arrivals across clients; the engine
+		// rejected loudly (typed, state untouched) and we lift the arrival
+		// to the shard clock and resubmit. The lifted arrival is what gets
+		// journaled, so replay repeats this exact decision.
+		now := sh.eng.Clock()
+		spec.Arrival = &now
+		job.Arrival = now
+		lifted = true
+		dec, err = sh.eng.Submit(job)
+	}
+	if err != nil {
+		sh.rejected.Add(1)
+		req.reply <- reply{err: fmt.Errorf("%w: %v", ErrBadJob, err)}
+		return
+	}
+
+	sh.seq++
+	sh.specs = append(sh.specs, spec)
+	if sh.wal != nil {
+		if werr := sh.wal.Append(sh.seq, &spec); werr != nil {
+			// The engine admitted a job the journal did not record: the
+			// shard's memory is now ahead of its log, so it fences itself
+			// off rather than hand out decisions a restart would disown.
+			sh.fence(werr)
+			req.reply <- reply{err: fmt.Errorf("%w: %v", ErrShardFailed, werr)}
+			return
+		}
+	}
+
+	out := &Decision{
+		Name:      spec.Name,
+		Key:       spec.RouteKey(),
+		Shard:     sh.id,
+		Seq:       sh.seq,
+		Arrival:   *spec.Arrival,
+		Lifted:    lifted,
+		Degraded:  spec.PlacementOnly,
+		Placement: dec.Placement.Dest,
+		Completed: dec.Completed,
+		Clock:     sh.eng.Clock(),
+	}
+	if dec.Backlog.Egress != nil {
+		out.BacklogEgress = dec.Backlog.Egress
+		out.BacklogIngress = dec.Backlog.Ingress
+	}
+	if spec.PlacementOnly {
+		sh.degraded.Add(1)
+	}
+	if lifted {
+		sh.lifted.Add(1)
+	}
+	sh.publish()
+	sh.lat.record(time.Since(req.enq))
+	req.reply <- reply{dec: out}
+}
+
+// fence marks the shard failed: readiness drops, submissions bounce. The
+// in-memory engine is ahead of the journal at this point, so serving more
+// decisions would hand out state a restart could not reproduce.
+func (sh *shard) fence(err error) {
+	sh.cfg.Logf("service: shard %d fenced: %v", sh.id, err)
+	sh.failed.Store(true)
+	sh.ready.Store(false)
+}
+
+// publish mirrors run-loop state into the atomics /stats reads.
+func (sh *shard) publish() {
+	sh.pubSeq.Store(sh.seq)
+	sh.pubClock.Store(math.Float64bits(sh.eng.Clock()))
+	sh.pubCompleted.Store(uint64(sh.eng.CompletedJobs()))
+}
+
+// snapshot compacts the journal: write the full state atomically, then
+// truncate the WAL (snapshot rename is the commit point — see snapshot.go).
+func (sh *shard) snapshot() error {
+	if sh.cfg.Dir == "" {
+		return nil
+	}
+	snap := &Snapshot{
+		Shard:  sh.id,
+		Nodes:  sh.cfg.Nodes,
+		Engine: sh.cfg.Engine,
+		Seq:    sh.seq,
+		Clock:  sh.eng.Clock(),
+		Digest: sh.eng.StateDigest(),
+		Jobs:   sh.specs,
+	}
+	if err := writeSnapshotFile(snapshotPath(sh.cfg.Dir, sh.id), snap); err != nil {
+		return err
+	}
+	sh.snapSeq = sh.seq
+	sh.snapSeqPub.Store(sh.seq)
+	sh.snapAtNanos.Store(time.Now().UnixNano())
+	if sh.wal != nil {
+		if err := sh.wal.Truncate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trySnapshot is the periodic variant: a failure fences the shard instead
+// of propagating (the job that triggered it was already acknowledged).
+func (sh *shard) trySnapshot() {
+	if sh.failed.Load() {
+		return
+	}
+	if err := sh.snapshot(); err != nil {
+		sh.fence(err)
+	}
+}
+
+// finalSnapshot runs at graceful shutdown, after the queue drained.
+func (sh *shard) finalSnapshot() {
+	if sh.failed.Load() || sh.seq == sh.snapSeq {
+		return
+	}
+	sh.trySnapshot()
+}
+
+// trySubmit enqueues a request without blocking: ErrOverloaded when the
+// queue is full, ErrDraining/ErrKilled when the shard stopped accepting.
+func (sh *shard) trySubmit(req *request) error {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.draining {
+		if sh.crash.Load() {
+			return ErrKilled
+		}
+		return ErrDraining
+	}
+	if sh.failed.Load() {
+		return ErrShardFailed
+	}
+	select {
+	case sh.queue <- req:
+		return nil
+	default:
+		sh.shed.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// closeIntake stops new submissions and lets the run loop drain out (or
+// abandon, when crash was set first).
+func (sh *shard) closeIntake() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.draining {
+		return
+	}
+	sh.draining = true
+	close(sh.queue)
+}
+
+// overloaded reports a full queue — the readiness probe's view of pressure.
+func (sh *shard) overloaded() bool {
+	return len(sh.queue) >= cap(sh.queue)
+}

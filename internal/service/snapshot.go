@@ -1,0 +1,338 @@
+package service
+
+// Crash-safe persistence: a per-shard write-ahead log of admitted jobs plus
+// periodic snapshots that compact the log prefix.
+//
+// Snapshot file layout (binary header around a JSON payload):
+//
+//	offset  size  field
+//	0       7     magic "CCFSNAP"
+//	7       1     version (0x01)
+//	8       8     payload length, big-endian
+//	16      n     payload (JSON-encoded Snapshot)
+//	16+n    4     CRC-32 (IEEE) of the payload, big-endian
+//
+// Writes are atomic: temp file in the same directory, fsync, rename. The
+// decoder rejects truncation, trailing garbage, checksum mismatches and
+// unknown versions with typed errors — never a panic, never a partial load
+// (FuzzSnapshotRestore pins this).
+//
+// WAL layout: one JSON object per line, {"seq":N,"crc":C,"job":{...}} with
+// the CRC taken over the raw job bytes. A torn final line (the crash wrote
+// half a record) is discarded — the client never saw that job's decision,
+// because the decision is only sent after the append returns — but
+// corruption anywhere before the tail is an error: the log can no longer
+// prove what the dead daemon decided.
+//
+// Recovery ordering: the snapshot rename is the commit point of compaction,
+// and the WAL is truncated only after it. A crash between the two leaves
+// WAL entries with seq <= Snapshot.Seq, which replay skips; a crash during
+// the snapshot write leaves the previous snapshot plus the full WAL. Both
+// paths rebuild the same engine.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"ccf/internal/core"
+)
+
+// Typed snapshot decode failures, matchable with errors.Is.
+var (
+	// ErrSnapshotFormat covers structural damage: bad magic, truncation,
+	// trailing bytes, undecodable payload.
+	ErrSnapshotFormat = errors.New("service: snapshot malformed")
+	// ErrSnapshotVersion reports a header from a different format version.
+	ErrSnapshotVersion = errors.New("service: snapshot version unsupported")
+	// ErrSnapshotChecksum reports payload corruption under an intact header.
+	ErrSnapshotChecksum = errors.New("service: snapshot checksum mismatch")
+	// ErrSnapshotMismatch reports a well-formed snapshot that belongs to a
+	// different daemon configuration (shard, fabric size, engine identity).
+	ErrSnapshotMismatch = errors.New("service: snapshot does not match configuration")
+	// ErrWALCorrupt reports damage before the final WAL record.
+	ErrWALCorrupt = errors.New("service: write-ahead log corrupt")
+)
+
+const (
+	snapMagic   = "CCFSNAP"
+	snapVersion = 0x01
+	// snapMaxPayload bounds the decoded payload (a length-prefix of a
+	// corrupted header must not drive a giant allocation).
+	snapMaxPayload = 1 << 30
+)
+
+// EngineConfig pins the engine identity a snapshot belongs to: replaying a
+// WAL into a differently-scheduled engine would silently produce different
+// decisions, so restore refuses mismatches.
+type EngineConfig struct {
+	// Bandwidth is the per-port bandwidth in bytes/sec (0 = simulator
+	// default).
+	Bandwidth float64 `json:"bandwidth"`
+	// CoOptimize feeds arrivals the in-flight backlog (the paper's mode).
+	CoOptimize bool `json:"co_optimize"`
+	// NetworkScheduler names the coflow scheduler ("" = varys).
+	NetworkScheduler string `json:"network_scheduler"`
+}
+
+// newEngine constructs a shard engine from the pinned identity.
+func (c EngineConfig) newEngine(nodes int) (*core.OnlineEngine, error) {
+	sched, err := netSchedByName(c.NetworkScheduler)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewOnlineEngine(nodes, core.OnlineOptions{
+		Bandwidth:        c.Bandwidth,
+		CoOptimize:       c.CoOptimize,
+		NetworkScheduler: sched,
+	})
+}
+
+// Snapshot is one shard's durable state: the engine identity, the effective
+// records of every job admitted up to Seq, and a digest of the engine state
+// those jobs produce. Restore replays Jobs through a fresh engine and
+// verifies the digest, then replays the WAL suffix (seq > Seq).
+type Snapshot struct {
+	Shard  int          `json:"shard"`
+	Nodes  int          `json:"nodes"`
+	Engine EngineConfig `json:"engine"`
+	Seq    uint64       `json:"seq"`
+	Clock  float64      `json:"clock"`
+	Digest uint64       `json:"digest"`
+	Jobs   []JobSpec    `json:"jobs"`
+}
+
+// EncodeSnapshot serialises a snapshot into the versioned, checksummed file
+// format.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 16+len(payload)+4)
+	buf = append(buf, snapMagic...)
+	buf = append(buf, snapVersion)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return buf, nil
+}
+
+// DecodeSnapshot parses and verifies a snapshot file image. Every failure
+// is a typed error; no partially-decoded state ever escapes.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < 16+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the fixed header", ErrSnapshotFormat, len(b))
+	}
+	if string(b[:7]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotFormat, b[:7])
+	}
+	if b[7] != snapVersion {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrSnapshotVersion, b[7], snapVersion)
+	}
+	n := binary.BigEndian.Uint64(b[8:16])
+	if n > snapMaxPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrSnapshotFormat, n)
+	}
+	if uint64(len(b)) != 16+n+4 {
+		return nil, fmt.Errorf("%w: %d bytes for a %d-byte payload (truncated or trailing garbage)",
+			ErrSnapshotFormat, len(b), n)
+	}
+	payload := b[16 : 16+n]
+	want := binary.BigEndian.Uint32(b[16+n:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: crc %08x, header says %08x", ErrSnapshotChecksum, got, want)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrSnapshotFormat, err)
+	}
+	if s.Nodes <= 0 || s.Shard < 0 || uint64(len(s.Jobs)) != s.Seq {
+		return nil, fmt.Errorf("%w: inconsistent payload (nodes=%d shard=%d seq=%d jobs=%d)",
+			ErrSnapshotFormat, s.Nodes, s.Shard, s.Seq, len(s.Jobs))
+	}
+	for i := range s.Jobs {
+		if s.Jobs[i].Arrival == nil {
+			return nil, fmt.Errorf("%w: job %d has no resolved arrival", ErrSnapshotFormat, i)
+		}
+	}
+	return &s, nil
+}
+
+// snapshotPath / walPath name a shard's files inside the state directory.
+func snapshotPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.snap", shard))
+}
+
+func walPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.wal", shard))
+}
+
+// writeSnapshotFile writes atomically: temp file in the same directory,
+// fsync, rename over the target.
+func writeSnapshotFile(path string, s *Snapshot) error {
+	b, err := EncodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readSnapshotFile loads and verifies a snapshot; a missing file returns
+// (nil, nil) — a fresh shard.
+func readSnapshotFile(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(b)
+}
+
+// walRecord is one WAL line.
+type walRecord struct {
+	Seq uint64          `json:"seq"`
+	CRC uint32          `json:"crc"`
+	Job json.RawMessage `json:"job"`
+}
+
+// walWriter appends admitted-job records; not safe for concurrent use (each
+// shard goroutine owns its writer).
+type walWriter struct {
+	f    *os.File
+	sync bool
+}
+
+func openWAL(path string, sync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f, sync: sync}, nil
+}
+
+// Append journals one effective job record under seq. The decision is only
+// released to the client after Append returns, so "acknowledged" implies
+// "journaled".
+func (w *walWriter) Append(seq uint64, spec *JobSpec) error {
+	job, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	rec := walRecord{Seq: seq, CRC: crc32.ChecksumIEEE(job), Job: job}
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		return err
+	}
+	if w.sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Truncate discards the journal after a snapshot committed (snapshot rename
+// happens first; see the recovery-ordering note above).
+func (w *walWriter) Truncate() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(0, 0)
+	return err
+}
+
+func (w *walWriter) Close() error { return w.f.Close() }
+
+// replayWAL streams every intact record with seq > afterSeq to fn, in file
+// order. A torn final record — the crash interrupted the append, so no
+// client ever saw its decision — is tolerated and reported; any damage
+// before the tail is ErrWALCorrupt. Sequence numbers must be contiguous
+// above afterSeq: a gap means a lost record, corruption rather than tearing.
+func replayWAL(path string, afterSeq uint64, fn func(seq uint64, spec *JobSpec) error) (replayed int, torn bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	lineNo := 0
+	lastSeq := afterSeq
+	// tail reports whether the damaged line just read is the file's last;
+	// only then is the damage a torn append rather than corruption.
+	tail := func() bool { return !sc.Scan() }
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if tail() {
+				return replayed, true, nil
+			}
+			return replayed, false, fmt.Errorf("%w: line %d: %v", ErrWALCorrupt, lineNo, err)
+		}
+		if crc32.ChecksumIEEE(rec.Job) != rec.CRC {
+			if tail() {
+				return replayed, true, nil
+			}
+			return replayed, false, fmt.Errorf("%w: line %d: crc mismatch", ErrWALCorrupt, lineNo)
+		}
+		if rec.Seq <= afterSeq {
+			continue // compacted into the snapshot already
+		}
+		if rec.Seq != lastSeq+1 {
+			return replayed, false, fmt.Errorf("%w: line %d: seq %d after %d (lost record)",
+				ErrWALCorrupt, lineNo, rec.Seq, lastSeq)
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(rec.Job, &spec); err != nil || spec.Arrival == nil {
+			if err == nil {
+				err = errors.New("record has no resolved arrival")
+			}
+			return replayed, false, fmt.Errorf("%w: line %d: job: %v", ErrWALCorrupt, lineNo, err)
+		}
+		lastSeq = rec.Seq
+		if err := fn(rec.Seq, &spec); err != nil {
+			return replayed, false, err
+		}
+		replayed++
+	}
+	if err := sc.Err(); err != nil {
+		return replayed, false, fmt.Errorf("%w: %v", ErrWALCorrupt, err)
+	}
+	return replayed, false, nil
+}

@@ -1,0 +1,287 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccf/internal/workload"
+)
+
+func testSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	a0, a1 := 0.0, 0.25
+	return &Snapshot{
+		Shard:  2,
+		Nodes:  4,
+		Engine: EngineConfig{CoOptimize: true, NetworkScheduler: "varys"},
+		Seq:    2,
+		Clock:  0.25,
+		Digest: 0xdeadbeefcafe,
+		Jobs: []JobSpec{
+			{Name: "a", Arrival: &a0, Gen: &workload.Config{
+				Nodes:          4,
+				CustomerTuples: 50,
+				OrderTuples:    500,
+				PayloadBytes:   1000,
+				Zipf:           0.8,
+				Seed:           7,
+			}},
+			{Name: "b", Arrival: &a1, Chunks: [][]int64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := testSnapshot(t)
+	b, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Shard != s.Shard || got.Nodes != s.Nodes || got.Seq != s.Seq ||
+		got.Digest != s.Digest || got.Engine != s.Engine || len(got.Jobs) != len(s.Jobs) {
+		t.Fatalf("roundtrip mismatch: got %+v want %+v", got, s)
+	}
+	if got.Jobs[1].Chunks[3][1] != 8 {
+		t.Fatalf("chunk matrix did not survive: %v", got.Jobs[1].Chunks)
+	}
+}
+
+func TestSnapshotDecodeRejectsDamage(t *testing.T) {
+	s := testSnapshot(t)
+	good, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrSnapshotFormat},
+		{"header only", func(b []byte) []byte { return b[:16] }, ErrSnapshotFormat},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-10] }, ErrSnapshotFormat},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xAA) }, ErrSnapshotFormat},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrSnapshotFormat},
+		{"future version", func(b []byte) []byte { b[7] = 0x7F; return b }, ErrSnapshotVersion},
+		{"flipped payload byte", func(b []byte) []byte { b[20] ^= 0x40; return b }, ErrSnapshotChecksum},
+		{"flipped crc byte", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, ErrSnapshotChecksum},
+		{"huge length header", func(b []byte) []byte {
+			binary.BigEndian.PutUint64(b[8:16], 1<<40)
+			return b
+		}, ErrSnapshotFormat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), good...))
+			got, err := DecodeSnapshot(b)
+			if got != nil {
+				t.Fatalf("damaged snapshot decoded to %+v", got)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want errors.Is(…, %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSnapshotDecodeRejectsInconsistentPayload(t *testing.T) {
+	s := testSnapshot(t)
+	s.Seq = 5 // five claimed, two recorded
+	b, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := DecodeSnapshot(b); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("seq/jobs mismatch: error = %v, want ErrSnapshotFormat", err)
+	}
+
+	s = testSnapshot(t)
+	s.Jobs[0].Arrival = nil
+	b, err = EncodeSnapshot(s)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := DecodeSnapshot(b); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("unresolved arrival: error = %v, want ErrSnapshotFormat", err)
+	}
+}
+
+func TestSnapshotFileAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard-000.snap")
+	s := testSnapshot(t)
+	if err := writeSnapshotFile(path, s); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Overwrite with different state: the rename must replace, and no temp
+	// files may linger.
+	s.Seq = 1
+	s.Jobs = s.Jobs[:1]
+	if err := writeSnapshotFile(path, s); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	got, err := readSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Seq != 1 || len(got.Jobs) != 1 {
+		t.Fatalf("rewrite not visible: seq=%d jobs=%d", got.Seq, len(got.Jobs))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+	// Missing file reads as a fresh shard, not an error.
+	if got, err := readSnapshotFile(filepath.Join(dir, "absent.snap")); got != nil || err != nil {
+		t.Fatalf("missing snapshot: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+// walAppendN journals n records with seqs start..start+n-1.
+func walAppendN(t *testing.T, path string, start uint64, n int) {
+	t.Helper()
+	w, err := openWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < n; i++ {
+		a := float64(i)
+		spec := &JobSpec{Name: "j", Arrival: &a, Chunks: [][]int64{{1}, {2}}}
+		if err := w.Append(start+uint64(i), spec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, path string, afterSeq uint64) (seqs []uint64, torn bool, err error) {
+	t.Helper()
+	_, torn, err = replayWAL(path, afterSeq, func(seq uint64, spec *JobSpec) error {
+		seqs = append(seqs, seq)
+		return nil
+	})
+	return seqs, torn, err
+}
+
+func TestWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.wal")
+	walAppendN(t, path, 1, 5)
+
+	seqs, torn, err := replayAll(t, path, 0)
+	if err != nil || torn {
+		t.Fatalf("replay: torn=%v err=%v", torn, err)
+	}
+	if len(seqs) != 5 || seqs[0] != 1 || seqs[4] != 5 {
+		t.Fatalf("replayed seqs %v", seqs)
+	}
+
+	// Records at or below afterSeq were compacted into the snapshot; skip.
+	seqs, _, err = replayAll(t, path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 4 {
+		t.Fatalf("suffix replay seqs %v", seqs)
+	}
+
+	// Missing WAL is a fresh shard.
+	seqs, torn, err = replayAll(t, filepath.Join(dir, "absent.wal"), 0)
+	if len(seqs) != 0 || torn || err != nil {
+		t.Fatalf("missing wal: %v %v %v", seqs, torn, err)
+	}
+}
+
+func TestWALTornTailIsDropped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.wal")
+	walAppendN(t, path, 1, 3)
+	// Simulate a crash mid-append: half a record at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":4,"crc":123,"job":{"name":"tr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	seqs, torn, err := replayAll(t, path, 0)
+	if err != nil {
+		t.Fatalf("torn tail must not error: %v", err)
+	}
+	if !torn {
+		t.Fatal("torn tail not reported")
+	}
+	if len(seqs) != 3 {
+		t.Fatalf("replayed %v, want the 3 intact records", seqs)
+	}
+}
+
+func TestWALMidFileCorruptionIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.wal")
+	walAppendN(t, path, 1, 3)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage the first record's job payload (not the tail): still valid JSON,
+	// but the record CRC no longer matches.
+	b = bytes.Replace(b, []byte(`"name":"j"`), []byte(`"name":"x"`), 1)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := replayAll(t, path, 0); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("mid-file corruption: error = %v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestWALSequenceGapIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.wal")
+	walAppendN(t, path, 1, 2)
+	walAppendN(t, path, 5, 1) // 3 and 4 went missing
+	if _, _, err := replayAll(t, path, 0); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("sequence gap: error = %v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestWALTruncateAfterSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.wal")
+	w, err := openWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	a := 0.0
+	if err := w.Append(1, &JobSpec{Name: "j", Arrival: &a, Chunks: [][]int64{{1}, {2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	// New appends land at the start of the emptied file and replay cleanly.
+	if err := w.Append(2, &JobSpec{Name: "k", Arrival: &a, Chunks: [][]int64{{3}, {4}}}); err != nil {
+		t.Fatal(err)
+	}
+	seqs, torn, err := replayAll(t, path, 1)
+	if err != nil || torn {
+		t.Fatalf("replay after truncate: torn=%v err=%v", torn, err)
+	}
+	if len(seqs) != 1 || seqs[0] != 2 {
+		t.Fatalf("seqs after truncate: %v", seqs)
+	}
+}
