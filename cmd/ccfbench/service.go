@@ -26,10 +26,12 @@ import (
 	"net/http/httptest"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ccf/internal/metrics"
 	"ccf/internal/service"
 	"ccf/internal/stats"
 	"ccf/internal/workload"
@@ -80,6 +82,61 @@ type serviceLoadReport struct {
 	DigestsMatch  bool             `json:"digests_match"`
 	PostKill      serviceLoadPhase `json:"post_kill"`
 	TotalAdmitted uint64           `json:"total_admitted"`
+	Scrapes       []metricsScrape  `json:"metrics_scrapes"`
+}
+
+// metricsScrape summarizes one /metrics pull taken at a phase boundary:
+// structural validity plus the headline counters, so the benchmark report
+// records what an external Prometheus would have seen at that moment.
+type metricsScrape struct {
+	Phase         string  `json:"phase"`
+	Valid         bool    `json:"valid"`
+	SampleLines   int     `json:"sample_lines"`
+	AdmittedTotal float64 `json:"admitted_total"`
+	ShedTotal     float64 `json:"shed_total"`
+	DegradedTotal float64 `json:"degraded_total"`
+	DecisionCount float64 `json:"decision_latency_count"`
+}
+
+// scrapeServiceMetrics pulls url/metrics and folds it into a metricsScrape.
+func scrapeServiceMetrics(phase, url string) metricsScrape {
+	sc := metricsScrape{Phase: phase}
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return sc
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return sc
+	}
+	text := string(body)
+	sc.Valid = metrics.ValidateExposition(text) == nil
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sc.SampleLines++
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[sp+1:], "%g", &v); err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "ccfd_jobs_admitted_total"):
+			sc.AdmittedTotal += v
+		case strings.HasPrefix(line, "ccfd_jobs_shed_total"):
+			sc.ShedTotal += v
+		case strings.HasPrefix(line, "ccfd_jobs_degraded_total"):
+			sc.DegradedTotal += v
+		case strings.HasPrefix(line, "ccfd_decision_latency_seconds_count"):
+			sc.DecisionCount += v
+		}
+	}
+	return sc
 }
 
 // loadPhase fires `clients` concurrent workers, each submitting jobs from
@@ -210,6 +267,10 @@ func serviceLoadExp(outPath, dir string) error {
 	}
 	rep := serviceLoadReport{Shards: cfg.Shards, Nodes: cfg.Nodes, QueueDepth: cfg.QueueDepth}
 
+	// Each pool gets its own registry: gauge funcs close over a pool's
+	// shards, so reusing a registry across the restart would keep scraping
+	// the dead pool.
+	cfg.Obs = service.Observability{Metrics: metrics.NewRegistry(), TraceDepth: 256}
 	pool, err := service.NewPool(cfg)
 	if err != nil {
 		return err
@@ -222,11 +283,13 @@ func serviceLoadExp(outPath, dir string) error {
 	// Phase 1: steady load, concurrency ~ queue capacity.
 	fmt.Println("  phase 1: steady load (4 clients)")
 	rep.Normal = loadPhase(srv.URL, 4, 50, 0, cfg.Nodes, 0)
+	rep.Scrapes = append(rep.Scrapes, scrapeServiceMetrics("normal", srv.URL))
 
 	// Phase 2: overload — twice the pool's total queue capacity in
 	// concurrent clients, heavy placements, backoff on shed.
 	fmt.Println("  phase 2: overload (32 clients, heavy placements)")
 	rep.Overload = loadPhase(srv.URL, 32, 10, 200, cfg.Nodes, 2048)
+	rep.Scrapes = append(rep.Scrapes, scrapeServiceMetrics("overload", srv.URL))
 
 	// Phase 3: kill -9 equivalent mid-run, then measure recovery.
 	fmt.Println("  phase 3: kill + restart")
@@ -243,6 +306,7 @@ func serviceLoadExp(outPath, dir string) error {
 	srv.Close()
 
 	restoreBegin := time.Now()
+	cfg.Obs = service.Observability{Metrics: metrics.NewRegistry(), TraceDepth: 256}
 	pool2, err := service.NewPool(cfg)
 	if err != nil {
 		return err
@@ -263,7 +327,9 @@ func serviceLoadExp(outPath, dir string) error {
 		}
 	}
 	srv2 := httptest.NewServer(service.NewHandler(pool2, service.HTTPConfig{RequestTimeout: 10 * time.Second}))
+	rep.Scrapes = append(rep.Scrapes, scrapeServiceMetrics("post_restore", srv2.URL))
 	rep.PostKill = loadPhase(srv2.URL, 4, 25, 520, cfg.Nodes, 0)
+	rep.Scrapes = append(rep.Scrapes, scrapeServiceMetrics("post_kill", srv2.URL))
 	finalStates, err := pool2.State(context.Background())
 	if err != nil {
 		return err
@@ -283,6 +349,11 @@ func serviceLoadExp(outPath, dir string) error {
 		rep.RestoredJobs, rep.RestoreMs, rep.DigestsMatch)
 	if !rep.DigestsMatch {
 		return fmt.Errorf("service-load: post-restart state diverged from pre-kill state")
+	}
+	for _, sc := range rep.Scrapes {
+		if !sc.Valid {
+			return fmt.Errorf("service-load: /metrics scrape at %s failed structural validation", sc.Phase)
+		}
 	}
 
 	f, err := os.Create(outPath)

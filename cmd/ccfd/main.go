@@ -9,7 +9,12 @@
 //	ccfd -addr :8080 -dir /var/lib/ccfd -nodes 100 -shards 4
 //
 // Endpoints: POST /v1/jobs, GET /healthz, GET /readyz, GET /stats,
-// GET /v1/state, POST /v1/snapshot. See DESIGN.md §13.
+// GET /v1/state, POST /v1/snapshot; with -metrics also GET /metrics
+// (Prometheus text exposition) and with -trace-depth > 0 the per-job
+// lifecycle trace endpoints GET /v1/trace?job=<id|name> and
+// GET /v1/trace/recent (Chrome trace-event JSON, loadable in Perfetto).
+// -admin-addr serves net/http/pprof on a separate mux so profiling never
+// shares a listener with the data plane. See DESIGN.md §13–§14.
 package main
 
 import (
@@ -17,13 +22,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	rpprof "runtime/pprof"
 	"syscall"
 	"time"
 
+	"ccf/internal/metrics"
 	"ccf/internal/service"
 )
 
@@ -44,10 +53,28 @@ func main() {
 		netsched   = flag.String("netsched", "varys", "network coflow scheduler: varys, aalo, fifo, scf, ncf")
 		walSync    = flag.Bool("wal-sync", false, "fsync the WAL after every append (survives OS crashes, not just process kills)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "graceful-shutdown budget before the process exits anyway")
+
+		metricsOn  = flag.Bool("metrics", false, "serve Prometheus text exposition at GET /metrics")
+		traceDepth = flag.Int("trace-depth", 0, "per-shard ring of completed job lifecycle traces (0 disables /v1/trace)")
+		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error (per-decision lines are debug)")
+		adminAddr  = flag.String("admin-addr", "", "separate listen address for net/http/pprof (empty disables)")
+		profEvery  = flag.Duration("profile-every", 0, "capture a CPU profile this often (0 disables; requires -profile-dir)")
+		profDur    = flag.Duration("profile-duration", 10*time.Second, "length of each continuous CPU profile capture")
+		profDir    = flag.String("profile-dir", "", "directory for continuous CPU profiles (ccfd-cpu-<n>.pprof)")
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "ccfd: ", log.LstdFlags|log.Lmicroseconds)
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccfd:", err)
+		os.Exit(2)
+	}
+
+	obs := service.Observability{TraceDepth: *traceDepth, Log: logger}
+	if *metricsOn {
+		obs.Metrics = metrics.NewRegistry()
+	}
 	pool, err := service.NewPool(service.Config{
 		Shards:        *shards,
 		Nodes:         *nodes,
@@ -62,7 +89,10 @@ func main() {
 			CoOptimize:       *coopt,
 			NetworkScheduler: *netsched,
 		},
-		Logf: logger.Printf,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+		Obs: obs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccfd:", err)
@@ -83,27 +113,131 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	logger.Printf("listening on %s (%d shards x %d nodes, dir=%q)", *addr, *shards, *nodes, *dir)
+	logger.Info("listening",
+		"addr", *addr, "shards", *shards, "nodes", *nodes, "dir", *dir,
+		"metrics", *metricsOn, "trace_depth", *traceDepth)
+
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminSrv = &http.Server{Addr: *adminAddr, Handler: adminMux(obs.Metrics)}
+		go func() {
+			if err := adminSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin listener failed", "addr", *adminAddr, "error", err)
+			}
+		}()
+		logger.Info("admin listening (pprof)", "addr", *adminAddr)
+	}
+
+	if *profEvery > 0 {
+		if *profDir == "" {
+			fmt.Fprintln(os.Stderr, "ccfd: -profile-every requires -profile-dir")
+			os.Exit(2)
+		}
+		go continuousProfile(ctx, logger, *profDir, *profEvery, *profDur)
+	}
 
 	select {
 	case <-ctx.Done():
 		// Graceful shutdown: stop taking connections, then drain the pool —
 		// queued jobs finish, a final snapshot compacts each shard's WAL.
-		logger.Printf("signal received, draining (grace %v)", *drainGrace)
+		logger.Info("signal received, draining", "grace", *drainGrace)
 		grace, cancel := context.WithTimeout(context.Background(), *drainGrace)
 		defer cancel()
 		if err := srv.Shutdown(grace); err != nil {
-			logger.Printf("http shutdown: %v", err)
+			logger.Warn("http shutdown", "error", err)
+		}
+		if adminSrv != nil {
+			_ = adminSrv.Shutdown(grace)
 		}
 		if err := pool.Drain(grace); err != nil {
-			logger.Printf("drain: %v", err)
+			logger.Error("drain failed", "error", err)
 			os.Exit(1)
 		}
-		logger.Printf("drained cleanly")
+		logger.Info("drained cleanly")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "ccfd: serve:", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// buildLogger assembles the daemon's slog logger from the CLI knobs.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+	return slog.New(h), nil
+}
+
+// adminMux is the operator-only surface: pprof plus a second /metrics mount
+// so profiling and scraping work even when the data-plane listener is
+// saturated. Kept off the data-plane mux so exposing ccfd to clients never
+// exposes pprof.
+func adminMux(reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	}
+	return mux
+}
+
+// continuousProfile captures a CPU profile of profDur every interval,
+// writing numbered files under dir until ctx is cancelled. The capture
+// itself is the standard runtime profiler; between captures the daemon
+// runs unprofiled.
+func continuousProfile(ctx context.Context, logger *slog.Logger, dir string, every, profDur time.Duration) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		logger.Error("profile dir", "error", err)
+		return
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for n := 0; ; n++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		path := filepath.Join(dir, fmt.Sprintf("ccfd-cpu-%d.pprof", n))
+		f, err := os.Create(path)
+		if err != nil {
+			logger.Error("profile create", "path", path, "error", err)
+			return
+		}
+		if err := rpprof.StartCPUProfile(f); err != nil {
+			logger.Error("profile start", "error", err)
+			f.Close()
+			return
+		}
+		select {
+		case <-ctx.Done():
+			rpprof.StopCPUProfile()
+			f.Close()
+			return
+		case <-time.After(profDur):
+		}
+		rpprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			logger.Error("profile close", "path", path, "error", err)
+			return
+		}
+		logger.Info("cpu profile written", "path", path)
 	}
 }

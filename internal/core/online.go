@@ -302,6 +302,15 @@ func (e *OnlineEngine) JobCount() int { return len(e.jobs) }
 // until Finish).
 func (e *OnlineEngine) CompletedJobs() int { return len(e.ses.Report().CCTs) }
 
+// BacklogInto writes the live session's per-port in-flight bytes into the
+// caller's slices (len n each) — the observability mirror of the backlog
+// probe the co-optimized placer uses. Read-only, but the session is owned
+// by the engine's goroutine: call it only from there (the service shard
+// samples it in its run loop and publishes through atomics).
+func (e *OnlineEngine) BacklogInto(egress, ingress []int64) error {
+	return e.ses.BacklogInto(egress, ingress)
+}
+
 // StateDigest fingerprints the engine's full deterministic state — the
 // session's clock and per-flow progress plus the engine clock and admission
 // count — so a snapshot/restore cycle can prove the restored engine is

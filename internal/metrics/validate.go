@@ -1,0 +1,259 @@
+package metrics
+
+// ValidateExposition is a promlint-style structural check of a text
+// exposition page, shared by the package tests, the service-layer
+// validator test and the CI observability smoke. It verifies the 0.0.4
+// grammar properties that scraping stacks rely on:
+//
+//   - every sample belongs to a family announced by # HELP and # TYPE
+//     lines (in that order, HELP before TYPE before samples);
+//   - sample names match the family (exactly, or family_{bucket,sum,count}
+//     for histograms);
+//   - histogram buckets carry an le label, are cumulative in file order,
+//     end at le="+Inf", and the +Inf bucket equals the _count sample;
+//   - counter and histogram-count values are non-negative and finite;
+//   - no duplicate series within a family.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+type expFamily struct {
+	typ        string
+	sawHelp    bool
+	seen       map[string]bool // series key → present
+	bucketCum  map[string]float64
+	bucketInf  map[string]float64
+	countVal   map[string]float64
+	sawInf     map[string]bool
+	sawSamples bool
+}
+
+// ValidateExposition checks one scrape page; nil means structurally valid.
+func ValidateExposition(text string) error {
+	fams := make(map[string]*expFamily)
+	for ln, line := range strings.Split(text, "\n") {
+		ln++ // 1-based for messages
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			name := fieldAfter(line, "# HELP ")
+			f := fams[name]
+			if f == nil {
+				f = newExpFamily()
+				fams[name] = f
+			}
+			if f.sawSamples {
+				return fmt.Errorf("line %d: HELP for %s after its samples", ln, name)
+			}
+			f.sawHelp = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", ln, line)
+			}
+			name, typ := parts[0], parts[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", ln, typ)
+			}
+			f := fams[name]
+			if f == nil {
+				f = newExpFamily()
+				fams[name] = f
+			}
+			if !f.sawHelp {
+				return fmt.Errorf("line %d: TYPE for %s without a preceding HELP", ln, name)
+			}
+			if f.sawSamples {
+				return fmt.Errorf("line %d: TYPE for %s after its samples", ln, name)
+			}
+			if f.typ != "" {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", ln, name)
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+
+		name, labels, value, ok := splitSample(line)
+		if !ok {
+			return fmt.Errorf("line %d: malformed sample %q", ln, line)
+		}
+		fam, base, suffix := resolveFamily(fams, name)
+		if fam == nil {
+			return fmt.Errorf("line %d: sample %s has no HELP/TYPE family", ln, name)
+		}
+		fam.sawSamples = true
+		if fam.typ == "" {
+			return fmt.Errorf("line %d: sample %s before its TYPE line", ln, name)
+		}
+		if (suffix == "bucket" || suffix == "sum" || suffix == "count") && fam.typ != "histogram" && fam.typ != "summary" {
+			return fmt.Errorf("line %d: %s sample on %s family %s", ln, suffix, fam.typ, base)
+		}
+
+		switch {
+		case fam.typ == "histogram" && suffix == "bucket":
+			le, rest, err := extractLE(labels)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", ln, err)
+			}
+			if value < fam.bucketCum[rest] {
+				return fmt.Errorf("line %d: histogram %s%s buckets not cumulative (%g after %g)",
+					ln, base, rest, value, fam.bucketCum[rest])
+			}
+			fam.bucketCum[rest] = value
+			if le == "+Inf" {
+				fam.sawInf[rest] = true
+				fam.bucketInf[rest] = value
+			} else if fam.sawInf[rest] {
+				return fmt.Errorf("line %d: histogram %s%s has buckets after le=\"+Inf\"", ln, base, rest)
+			}
+		case fam.typ == "histogram" && suffix == "count":
+			fam.countVal[labels] = value
+			fallthrough
+		case fam.typ == "counter" && suffix == "":
+			if value < 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+				return fmt.Errorf("line %d: counter-like sample %s = %g", ln, name, value)
+			}
+		}
+		if suffix == "" || suffix == "sum" || suffix == "count" {
+			key := name + labels
+			if fam.seen[key] {
+				return fmt.Errorf("line %d: duplicate series %s", ln, key)
+			}
+			fam.seen[key] = true
+		}
+	}
+
+	for name, f := range fams {
+		if f.typ != "histogram" {
+			continue
+		}
+		for rest := range f.bucketCum {
+			if !f.sawInf[rest] {
+				return fmt.Errorf("histogram %s%s has no le=\"+Inf\" bucket", name, rest)
+			}
+		}
+		for rest, inf := range f.bucketInf {
+			if cnt, ok := f.countVal[rest]; ok && cnt != inf {
+				return fmt.Errorf("histogram %s%s: _count %g != +Inf bucket %g", name, rest, cnt, inf)
+			}
+		}
+	}
+	return nil
+}
+
+func newExpFamily() *expFamily {
+	return &expFamily{
+		seen:      make(map[string]bool),
+		bucketCum: make(map[string]float64),
+		bucketInf: make(map[string]float64),
+		countVal:  make(map[string]float64),
+		sawInf:    make(map[string]bool),
+	}
+}
+
+// resolveFamily maps a sample name to its announcing family, stripping the
+// histogram suffixes.
+func resolveFamily(fams map[string]*expFamily, name string) (f *expFamily, base, suffix string) {
+	if f = fams[name]; f != nil {
+		return f, name, ""
+	}
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, sfx) {
+			base = strings.TrimSuffix(name, sfx)
+			if f = fams[base]; f != nil {
+				return f, base, sfx[1:]
+			}
+		}
+	}
+	return nil, "", ""
+}
+
+func fieldAfter(line, prefix string) string {
+	rest := strings.TrimPrefix(line, prefix)
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// splitSample parses `name{labels} value` (labels optional).
+func splitSample(line string) (name, labels string, value float64, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	id := strings.TrimSpace(line[:sp])
+	if br := strings.IndexByte(id, '{'); br >= 0 {
+		if !strings.HasSuffix(id, "}") {
+			return "", "", 0, false
+		}
+		return id[:br], id[br:], v, true
+	}
+	return id, "", v, true
+}
+
+// extractLE pulls the le label out of a rendered bucket label set,
+// returning the remaining labels as the series key.
+func extractLE(labels string) (le, rest string, err error) {
+	if !strings.HasPrefix(labels, "{") || !strings.HasSuffix(labels, "}") {
+		return "", "", fmt.Errorf("bucket sample without labels (%q)", labels)
+	}
+	inner := labels[1 : len(labels)-1]
+	parts := splitLabels(inner)
+	var kept []string
+	for _, p := range parts {
+		if strings.HasPrefix(p, `le="`) && strings.HasSuffix(p, `"`) {
+			le = p[len(`le="`) : len(p)-1]
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if le == "" {
+		return "", "", fmt.Errorf("bucket sample missing le label (%q)", labels)
+	}
+	if len(kept) == 0 {
+		return le, "", nil
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", nil
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

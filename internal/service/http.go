@@ -7,12 +7,20 @@ package service
 // millisecond — even when every queue is full (the overload test pins p99
 // health latency under 100ms at 10x load).
 //
-//	POST /v1/jobs      submit one JobSpec, returns a Decision
-//	GET  /healthz      liveness: process is up and serving
-//	GET  /readyz       readiness: 200 only when every shard can take work
-//	GET  /stats        queue depths, latency percentiles, shed counters
-//	GET  /v1/state     per-shard engine state digests (determinism probe)
-//	POST /v1/snapshot  force an immediate snapshot on every shard
+//	POST /v1/jobs         submit one JobSpec, returns a Decision
+//	GET  /healthz         liveness: process is up and serving
+//	GET  /readyz          readiness: 200 only when every shard can take work
+//	GET  /stats           queue depths, latency percentiles, shed counters
+//	GET  /v1/state        per-shard engine state digests (determinism probe)
+//	POST /v1/snapshot     force an immediate snapshot on every shard
+//	GET  /metrics         Prometheus text exposition (when a registry is wired)
+//	GET  /v1/trace        one job's lifecycle as Chrome trace JSON (?job=ID|name)
+//	GET  /v1/trace/recent every shard's trace window as Chrome trace JSON
+//
+// Trace endpoints accept ?raw=1 to return the JobTrace records instead of
+// the Chrome trace-event document. Successful submissions carry the job's
+// correlation ID in an X-Ccfd-Trace-Id header when tracing is on (a header,
+// not a body field — decision bytes stay identical with tracing on or off).
 //
 // Error envelope: {"error": "...", "retry_after_ms": N} with the HTTP
 // status carrying the class — 400 bad job, 429 shed (plus a Retry-After
@@ -70,6 +78,9 @@ func NewHandler(p *Pool, cfg HTTPConfig) http.Handler {
 			writeError(w, p, statusFor(err), err)
 			return
 		}
+		if p.TracingEnabled() {
+			w.Header().Set("X-Ccfd-Trace-Id", traceID(dec.Shard, dec.Seq))
+		}
 		writeJSON(w, http.StatusOK, dec)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -116,6 +127,44 @@ func NewHandler(p *Pool, cfg HTTPConfig) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	if reg := p.cfg.Obs.Metrics; reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	}
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		if !p.TracingEnabled() {
+			writeError(w, p, http.StatusNotFound, errors.New("service: tracing disabled (wire Observability.TraceDepth)"))
+			return
+		}
+		q := r.URL.Query().Get("job")
+		if q == "" {
+			writeError(w, p, http.StatusBadRequest, errors.New("service: missing ?job= (correlation ID or job name)"))
+			return
+		}
+		t, ok := p.FindTrace(q)
+		if !ok {
+			writeError(w, p, http.StatusNotFound, fmt.Errorf("service: no trace for %q in any shard window", q))
+			return
+		}
+		if r.URL.Query().Get("raw") != "" {
+			writeJSON(w, http.StatusOK, t)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJobTrace(w, []JobTrace{t})
+	})
+	mux.HandleFunc("GET /v1/trace/recent", func(w http.ResponseWriter, r *http.Request) {
+		if !p.TracingEnabled() {
+			writeError(w, p, http.StatusNotFound, errors.New("service: tracing disabled (wire Observability.TraceDepth)"))
+			return
+		}
+		traces := p.RecentTraces()
+		if r.URL.Query().Get("raw") != "" {
+			writeJSON(w, http.StatusOK, map[string]any{"traces": traces})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJobTrace(w, traces)
 	})
 	return mux
 }

@@ -48,6 +48,10 @@ type Config struct {
 	WALSync bool
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Obs selects the observability surfaces (metrics registry, per-job
+	// trace rings, structured logging). The zero value disables all of
+	// them, and the disabled path adds zero allocations to the shard loop.
+	Obs Observability
 }
 
 // withDefaults validates and fills the zero fields.
@@ -105,8 +109,11 @@ func NewPool(cfg Config) (*Pool, error) {
 	}
 	p := &Pool{cfg: cfg, birth: time.Now()}
 	for i := 0; i < cfg.Shards; i++ {
-		p.shards = append(p.shards, newShard(i, &p.cfg))
+		sh := newShard(i, &p.cfg)
+		sh.initObs(cfg.Obs, p.birth)
+		p.shards = append(p.shards, sh)
 	}
+	p.registerPoolMetrics()
 	return p, nil
 }
 
@@ -299,24 +306,26 @@ type ShardStats struct {
 
 // Stats is the /stats document.
 type Stats struct {
-	Ready     bool         `json:"ready"`
-	Draining  bool         `json:"draining"`
-	UptimeSec float64      `json:"uptime_sec"`
-	Admitted  uint64       `json:"admitted"`
-	Shed      uint64       `json:"shed"`
-	Degraded  uint64       `json:"degraded"`
-	P50Ms     float64      `json:"p50_ms"`
-	P99Ms     float64      `json:"p99_ms"`
-	Shards    []ShardStats `json:"shards"`
+	Ready         bool         `json:"ready"`
+	Draining      bool         `json:"draining"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Build         BuildInfo    `json:"build"`
+	Admitted      uint64       `json:"admitted"`
+	Shed          uint64       `json:"shed"`
+	Degraded      uint64       `json:"degraded"`
+	P50Ms         float64      `json:"p50_ms"`
+	P99Ms         float64      `json:"p99_ms"`
+	Shards        []ShardStats `json:"shards"`
 }
 
 // Stats assembles the live counters without touching any shard goroutine:
 // everything here is atomics and the latency rings.
 func (p *Pool) Stats() *Stats {
 	out := &Stats{
-		Ready:     p.Ready(),
-		Draining:  p.stopped.Load(),
-		UptimeSec: time.Since(p.birth).Seconds(),
+		Ready:         p.Ready(),
+		Draining:      p.stopped.Load(),
+		UptimeSeconds: time.Since(p.birth).Seconds(),
+		Build:         buildInfo(),
 	}
 	var allLat []float64
 	for _, sh := range p.shards {

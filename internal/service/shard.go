@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -113,6 +114,11 @@ type shard struct {
 	snapAtNanos  atomic.Int64
 
 	lat latencyRing
+
+	// obs is the shard's instrumentation bundle; nil when observability is
+	// off, which keeps every hot path at one pointer check and zero extra
+	// allocations (pinned by TestDisabledObservabilityZeroAllocs).
+	obs *shardObs
 }
 
 // latencyRing keeps the most recent decision latencies for percentile
@@ -215,6 +221,13 @@ func (sh *shard) restore() error {
 		}
 	}
 	sh.publish()
+	if sh.obs != nil {
+		// Credit restored admissions so the counter resumes monotone across
+		// a restart instead of restarting from zero while seq does not.
+		sh.obs.admitted.Add(sh.seq)
+		sh.obs.replayed.Add(sh.seq)
+		sh.sampleBacklog()
+	}
 	return nil
 }
 
@@ -305,11 +318,20 @@ func (sh *shard) state() ShardState {
 // process admits one job: deadline check, shed decision, arrival
 // resolution (with typed-error lifting), engine submit, journal, reply.
 func (sh *shard) process(req *request) {
+	obs := sh.obs
+	var tStart time.Time
+	if obs != nil {
+		tStart = time.Now()
+	}
 	if req.ctx.Err() != nil {
 		// The client's deadline passed while the request sat in the queue;
 		// drop it before it touches the engine so the client's 504 is
 		// truthful: nothing was admitted.
 		sh.deadlineDrop.Add(1)
+		if obs != nil {
+			obs.deadlineDrops.Inc()
+			obs.jobFailed(&req.spec, sh.id, "deadline", context.Cause(req.ctx))
+		}
 		req.reply <- reply{err: context.Cause(req.ctx)}
 		return
 	}
@@ -334,6 +356,10 @@ func (sh *shard) process(req *request) {
 	job, err := materialize(&spec, sh.cfg.Nodes)
 	if err != nil {
 		sh.rejected.Add(1)
+		if obs != nil {
+			obs.rejected.Inc()
+			obs.jobFailed(&spec, sh.id, "rejected", err)
+		}
 		req.reply <- reply{err: err}
 		return
 	}
@@ -351,14 +377,26 @@ func (sh *shard) process(req *request) {
 	}
 	if err != nil {
 		sh.rejected.Add(1)
+		if obs != nil {
+			obs.rejected.Inc()
+			obs.jobFailed(&spec, sh.id, "rejected", err)
+		}
 		req.reply <- reply{err: fmt.Errorf("%w: %v", ErrBadJob, err)}
 		return
 	}
 
 	sh.seq++
 	sh.specs = append(sh.specs, spec)
+	var tDecide time.Time
+	if obs != nil {
+		tDecide = time.Now()
+	}
 	if sh.wal != nil {
-		if werr := sh.wal.Append(sh.seq, &spec); werr != nil {
+		werr := sh.wal.Append(sh.seq, &spec)
+		if obs != nil {
+			obs.walAppend.Observe(time.Since(tDecide).Seconds())
+		}
+		if werr != nil {
 			// The engine admitted a job the journal did not record: the
 			// shard's memory is now ahead of its log, so it fences itself
 			// off rather than hand out decisions a restart would disown.
@@ -366,6 +404,10 @@ func (sh *shard) process(req *request) {
 			req.reply <- reply{err: fmt.Errorf("%w: %v", ErrShardFailed, werr)}
 			return
 		}
+	}
+	var tJournal time.Time
+	if obs != nil {
+		tJournal = time.Now()
 	}
 
 	out := &Decision{
@@ -392,6 +434,18 @@ func (sh *shard) process(req *request) {
 	}
 	sh.publish()
 	sh.lat.record(time.Since(req.enq))
+	if obs != nil {
+		tDone := time.Now()
+		obs.admitted.Inc()
+		if spec.PlacementOnly {
+			obs.degraded.Inc()
+		}
+		if lifted {
+			obs.lifted.Inc()
+		}
+		sh.sampleBacklog()
+		obs.jobAdmitted(&spec, sh.id, sh.seq, req.enq, tStart, tDecide, tJournal, tDone, lifted)
+	}
 	req.reply <- reply{dec: out}
 }
 
@@ -400,6 +454,13 @@ func (sh *shard) process(req *request) {
 // decisions would hand out state a restart could not reproduce.
 func (sh *shard) fence(err error) {
 	sh.cfg.Logf("service: shard %d fenced: %v", sh.id, err)
+	if sh.obs != nil {
+		sh.obs.walFailures.Inc()
+		if sh.obs.log != nil {
+			sh.obs.log.LogAttrs(context.Background(), slog.LevelError, "shard fenced",
+				slog.Int("shard", sh.id), slog.Any("error", err))
+		}
+	}
 	sh.failed.Store(true)
 	sh.ready.Store(false)
 }
@@ -426,8 +487,15 @@ func (sh *shard) snapshot() error {
 		Digest: sh.eng.StateDigest(),
 		Jobs:   sh.specs,
 	}
+	var begin time.Time
+	if sh.obs != nil {
+		begin = time.Now()
+	}
 	if err := writeSnapshotFile(snapshotPath(sh.cfg.Dir, sh.id), snap); err != nil {
 		return err
+	}
+	if sh.obs != nil {
+		sh.obs.snapshotWrite.Observe(time.Since(begin).Seconds())
 	}
 	sh.snapSeq = sh.seq
 	sh.snapSeqPub.Store(sh.seq)
@@ -478,6 +546,9 @@ func (sh *shard) trySubmit(req *request) error {
 		return nil
 	default:
 		sh.shed.Add(1)
+		if sh.obs != nil {
+			sh.obs.shed.Inc()
+		}
 		return ErrOverloaded
 	}
 }

@@ -1,0 +1,154 @@
+package service
+
+// Per-job lifecycle traces: every admitted job leaves a bounded record of
+// its timed spans (queue → decide → journal → reply) in its shard's ring,
+// keyed by a correlation ID derived from (shard, seq). The HTTP layer
+// exports rings as Chrome trace-event JSON via telemetry.WriteSpanTrace,
+// so a single job's path through the daemon loads directly in Perfetto.
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"ccf/internal/telemetry"
+)
+
+// TraceSpan is one timed phase of a job's lifecycle. Times are seconds
+// since the pool was constructed.
+type TraceSpan struct {
+	Name  string  `json:"name"`
+	Start float64 `json:"start_s"`
+	Dur   float64 `json:"dur_s"`
+}
+
+// JobTrace is the recorded lifecycle of one admitted job.
+type JobTrace struct {
+	ID       string      `json:"id"`
+	Name     string      `json:"name"`
+	Key      string      `json:"key"`
+	Shard    int         `json:"shard"`
+	Seq      uint64      `json:"seq"`
+	Outcome  string      `json:"outcome"`
+	Lifted   bool        `json:"lifted,omitempty"`
+	Degraded bool        `json:"degraded,omitempty"`
+	Spans    []TraceSpan `json:"spans"`
+}
+
+// traceRing is a bounded ring of completed job traces. Written by the
+// shard run loop, read by HTTP handlers; a mutex is fine here — the ring
+// is touched once per admitted job, not per flow.
+type traceRing struct {
+	mu  sync.Mutex
+	buf []JobTrace
+	pos int
+	n   int
+}
+
+func newTraceRing(depth int) *traceRing {
+	return &traceRing{buf: make([]JobTrace, depth)}
+}
+
+func (r *traceRing) add(t JobTrace) {
+	r.mu.Lock()
+	r.buf[r.pos] = t
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the window oldest-first.
+func (r *traceRing) snapshot() []JobTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobTrace, r.n)
+	if r.n == len(r.buf) {
+		copy(out, r.buf[r.pos:])
+		copy(out[len(r.buf)-r.pos:], r.buf[:r.pos])
+	} else {
+		copy(out, r.buf[:r.n])
+	}
+	return out
+}
+
+// find returns the newest trace whose ID or job name matches q.
+func (r *traceRing) find(q string) (JobTrace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < r.n; i++ {
+		// Walk newest → oldest so re-submitted names resolve to the latest.
+		idx := (r.pos - 1 - i + len(r.buf)*2) % len(r.buf)
+		if t := &r.buf[idx]; t.ID == q || t.Name == q {
+			return *t, true
+		}
+	}
+	return JobTrace{}, false
+}
+
+// FindTrace looks a job up across every shard ring by correlation ID or
+// job name. False when tracing is disabled or the job is not in any window.
+func (p *Pool) FindTrace(q string) (JobTrace, bool) {
+	for _, sh := range p.shards {
+		if sh.obs == nil || sh.obs.traces == nil {
+			continue
+		}
+		if t, ok := sh.obs.traces.find(q); ok {
+			return t, true
+		}
+	}
+	return JobTrace{}, false
+}
+
+// RecentTraces returns every shard's trace window, oldest-first per shard.
+// Nil when tracing is disabled.
+func (p *Pool) RecentTraces() []JobTrace {
+	var out []JobTrace
+	for _, sh := range p.shards {
+		if sh.obs == nil || sh.obs.traces == nil {
+			continue
+		}
+		out = append(out, sh.obs.traces.snapshot()...)
+	}
+	return out
+}
+
+// TracingEnabled reports whether any shard keeps a trace ring.
+func (p *Pool) TracingEnabled() bool {
+	return p.cfg.Obs.TraceDepth > 0
+}
+
+// WriteJobTrace renders traces as a Chrome trace-event document: one
+// process ("ccfd"), one thread per shard, every job's spans on its shard's
+// track. Spans are globally re-sorted per track before export because jobs
+// overlap (B is queued while A decides), and the trace-event contract CI
+// validates is monotone timestamps within each (pid, tid) track.
+func WriteJobTrace(w io.Writer, traces []JobTrace) error {
+	byShard := map[int][]telemetry.Span{}
+	for _, t := range traces {
+		args := map[string]any{"trace_id": t.ID, "job": t.Name, "seq": t.Seq}
+		for _, sp := range t.Spans {
+			byShard[t.Shard] = append(byShard[t.Shard], telemetry.Span{
+				Name: sp.Name, Start: sp.Start, Dur: sp.Dur, Args: args,
+			})
+		}
+	}
+	shardIDs := make([]int, 0, len(byShard))
+	for id := range byShard {
+		shardIDs = append(shardIDs, id)
+	}
+	sort.Ints(shardIDs)
+	tracks := make([]telemetry.SpanTrack, 0, len(shardIDs))
+	for _, id := range shardIDs {
+		spans := byShard[id]
+		sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start < spans[b].Start })
+		tracks = append(tracks, telemetry.SpanTrack{
+			Pid: 1, Tid: id,
+			Process: "ccfd", Thread: "shard " + strconv.Itoa(id),
+			Spans: spans,
+		})
+	}
+	return telemetry.WriteSpanTrace(w, tracks)
+}

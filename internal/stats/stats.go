@@ -98,13 +98,25 @@ func Mean(v []float64) float64 {
 }
 
 // Percentile returns the q-th percentile (q in [0,100]) using linear
-// interpolation over the sorted copy of v.
+// interpolation over the sorted copy of v. Degenerate windows stay finite:
+// an empty input reports 0, a single sample reports that sample for every
+// q, NaN samples are ignored, and a NaN q reports 0 rather than indexing
+// with an undefined int(NaN) conversion. The service's /stats percentiles
+// feed from live latency rings, so these edges are routine, not exotic.
 func Percentile(v []float64, q float64) float64 {
-	if len(v) == 0 {
+	if len(v) == 0 || math.IsNaN(q) {
 		return 0
 	}
 	s := append([]float64(nil), v...)
 	sort.Float64s(s)
+	// sort.Float64s places NaNs first; slice them off so they cannot
+	// poison the interpolation.
+	for len(s) > 0 && math.IsNaN(s[0]) {
+		s = s[1:]
+	}
+	if len(s) == 0 {
+		return 0
+	}
 	if q <= 0 {
 		return s[0]
 	}

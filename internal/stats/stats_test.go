@@ -94,6 +94,37 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileDegenerateWindows pins the /stats contract: percentile math
+// over live latency windows must stay finite through every degenerate shape
+// — empty, single-sample, NaN quantiles, NaN samples — never NaN or panic.
+func TestPercentileDegenerateWindows(t *testing.T) {
+	for _, q := range []float64{0, 50, 99, 100, math.NaN()} {
+		if got := Percentile(nil, q); got != 0 {
+			t.Errorf("empty p%v = %g, want 0", q, got)
+		}
+		if got := Percentile([]float64{3.5}, q); got != 3.5 && !math.IsNaN(q) {
+			t.Errorf("single-sample p%v = %g, want 3.5", q, got)
+		}
+	}
+	if got := Percentile([]float64{1, 2, 3}, math.NaN()); got != 0 {
+		t.Errorf("NaN quantile = %g, want 0", got)
+	}
+	// NaN samples are dropped, not propagated.
+	v := []float64{math.NaN(), 2, math.NaN(), 4}
+	for _, q := range []float64{0, 50, 99, 100} {
+		got := Percentile(v, q)
+		if math.IsNaN(got) {
+			t.Fatalf("p%g over NaN-polluted window is NaN", q)
+		}
+		if got < 2 || got > 4 {
+			t.Errorf("p%g = %g, want within [2,4]", q, got)
+		}
+	}
+	if got := Percentile([]float64{math.NaN()}, 50); got != 0 {
+		t.Errorf("all-NaN window p50 = %g, want 0", got)
+	}
+}
+
 func makeTable() *Table {
 	tbl := &Table{Title: "Figure X", XLabel: "nodes", YLabel: "time", X: []float64{100, 200}}
 	_ = tbl.AddSeries("Hash", []float64{10, 20.5})

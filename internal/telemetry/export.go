@@ -40,34 +40,62 @@ type traceEvent struct {
 
 const usec = 1e6 // trace-event timestamps are microseconds
 
+// traceEncoder streams one Chrome trace-event JSON document: header, comma-
+// separated events, footer. It is the emission machinery shared by the
+// Recorder's trace export and the service layer's per-job span export.
+type traceEncoder struct {
+	bw    *bufio.Writer
+	first bool
+}
+
+func newTraceEncoder(w io.Writer) (*traceEncoder, error) {
+	e := &traceEncoder{bw: bufio.NewWriter(w), first: true}
+	if _, err := e.bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *traceEncoder) emit(ev traceEvent) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if !e.first {
+		if err := e.bw.WriteByte(','); err != nil {
+			return err
+		}
+	}
+	e.first = false
+	if err := e.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	_, err = e.bw.Write(b)
+	return err
+}
+
+// meta emits a process_name/thread_name metadata event.
+func (e *traceEncoder) meta(pid, tid int, kind, name string) error {
+	return e.emit(traceEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// close writes the document footer and flushes.
+func (e *traceEncoder) close() error {
+	if _, err := e.bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return e.bw.Flush()
+}
+
 // WriteChromeTrace writes the recording as a Chrome trace-event JSON file.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+	enc, err := newTraceEncoder(w)
+	if err != nil {
 		return err
 	}
-	first := true
-	emit := func(ev traceEvent) error {
-		b, err := json.Marshal(ev)
-		if err != nil {
-			return err
-		}
-		if !first {
-			if err := bw.WriteByte(','); err != nil {
-				return err
-			}
-		}
-		first = false
-		if err := bw.WriteByte('\n'); err != nil {
-			return err
-		}
-		_, err = bw.Write(b)
-		return err
-	}
-	meta := func(pid, tid int, kind, name string) error {
-		return emit(traceEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid,
-			Args: map[string]any{"name": name}})
-	}
+	emit := enc.emit
+	meta := enc.meta
 
 	// Process metadata.
 	if err := meta(pidPorts, 0, "process_name", "ports"); err != nil {
@@ -166,10 +194,86 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		}
 	}
 
-	if _, err := bw.WriteString("\n]}\n"); err != nil {
+	return enc.close()
+}
+
+// Span is one closed duration on a span track. Times are in seconds on
+// whatever clock the caller uses; the exporter only requires that spans on
+// one track are given in ascending Start order.
+type Span struct {
+	Name  string
+	Start float64 // seconds
+	Dur   float64 // seconds
+	Args  map[string]any
+}
+
+// Instant is a point event on a span track.
+type Instant struct {
+	Name string
+	T    float64 // seconds
+	Args map[string]any
+}
+
+// SpanTrack is one (pid, tid) thread of spans — the unit the service layer
+// uses to export per-job lifecycle traces. Spans and Instants must each be
+// in ascending time order; the exporter merges the two streams so emitted
+// timestamps stay monotone within the track (the property CI validates).
+type SpanTrack struct {
+	Pid, Tid int
+	Process  string // process_name metadata, first track per pid wins
+	Thread   string // thread_name metadata
+	Spans    []Span
+	Instants []Instant
+}
+
+// WriteSpanTrace writes the tracks as a Chrome trace-event JSON document
+// loadable in Perfetto or chrome://tracing.
+func WriteSpanTrace(w io.Writer, tracks []SpanTrack) error {
+	enc, err := newTraceEncoder(w)
+	if err != nil {
 		return err
 	}
-	return bw.Flush()
+	seenPid := map[int]bool{}
+	for _, tr := range tracks {
+		if !seenPid[tr.Pid] && tr.Process != "" {
+			seenPid[tr.Pid] = true
+			if err := enc.meta(tr.Pid, 0, "process_name", tr.Process); err != nil {
+				return err
+			}
+		}
+	}
+	for _, tr := range tracks {
+		if tr.Thread != "" {
+			if err := enc.meta(tr.Pid, tr.Tid, "thread_name", tr.Thread); err != nil {
+				return err
+			}
+		}
+		// Two-pointer merge keeps the emitted timestamps monotone even when
+		// instants fall between spans.
+		si, ii := 0, 0
+		for si < len(tr.Spans) || ii < len(tr.Instants) {
+			if ii >= len(tr.Instants) || (si < len(tr.Spans) && tr.Spans[si].Start <= tr.Instants[ii].T) {
+				sp := tr.Spans[si]
+				si++
+				if err := enc.emit(traceEvent{
+					Name: sp.Name, Ph: "X", Ts: sp.Start * usec, Dur: sp.Dur * usec,
+					Pid: tr.Pid, Tid: tr.Tid, Args: sp.Args,
+				}); err != nil {
+					return err
+				}
+				continue
+			}
+			in := tr.Instants[ii]
+			ii++
+			if err := enc.emit(traceEvent{
+				Name: in.Name, Ph: "i", Ts: in.T * usec,
+				Pid: tr.Pid, Tid: tr.Tid, S: "t", Args: in.Args,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return enc.close()
 }
 
 // jsonl line payloads; field order is fixed by the struct definitions so
