@@ -38,7 +38,7 @@ func main() {
 		exp = flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, motivating, "+
 			"ablation-rank, ablation-pmult, ablation-sort, ablation-exact, "+
 			"ablation-hetero, ablation-topo, ablation-bound, netsim-bench, online-bench, "+
-			"chaos, recovery, telemetry, service-load, service-smoke")
+			"chaos, recovery, telemetry, service-load, service-smoke, service-burst")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper's ≈1 TB)")
 		bandwidth  = flag.Float64("bw", 0, "port bandwidth in bytes/sec (0 = CoflowSim default 128 MB/s)")
 		csvDir     = flag.String("csv", "", "directory to write per-panel CSV files (empty = none)")
@@ -62,7 +62,10 @@ func main() {
 		serviceOffset = flag.Int("serviceoffset", 0, "first job index of the service-smoke stream (resume point after a restart)")
 		serviceNodes  = flag.Int("servicenodes", 100, "fabric size of the target daemon for service-smoke job specs")
 		smokeOut      = flag.String("smokeout", "SMOKE_decisions.jsonl", "decision JSONL the service-smoke driver appends to")
-		serviceWait   = flag.Duration("servicewait", 30*time.Second, "how long service-smoke waits for the daemon to become ready")
+		serviceWait   = flag.Duration("servicewait", 30*time.Second, "how long service-smoke/-burst waits for the daemon to become ready")
+
+		burstClients = flag.Int("burstclients", 32, "concurrent submitters for the service-burst experiment")
+		burstOut     = flag.String("burstout", "SMOKE_acked.jsonl", "acked {shard,seq} ledger the service-burst driver writes")
 	)
 	flag.Parse()
 	chartPanels = *chart
@@ -187,6 +190,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *exp == "service-burst" {
+		if err := serviceBurstExp(*serviceURL, *serviceJobs, *serviceNodes, *burstClients, *burstOut, *serviceWait); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: service-burst: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // knownExperiments lists every value -exp accepts; anything else exits
@@ -197,7 +206,7 @@ var knownExperiments = map[string]bool{
 	"ablation-exact": true, "ablation-hetero": true, "ablation-topo": true,
 	"ablation-bound": true, "netsim-bench": true, "online-bench": true,
 	"chaos": true, "recovery": true, "telemetry": true,
-	"service-load": true, "service-smoke": true,
+	"service-load": true, "service-smoke": true, "service-burst": true,
 }
 
 // validateBenchFlags rejects nonsensical knob values with a one-line message

@@ -83,6 +83,125 @@ type serviceLoadReport struct {
 	PostKill      serviceLoadPhase `json:"post_kill"`
 	TotalAdmitted uint64           `json:"total_admitted"`
 	Scrapes       []metricsScrape  `json:"metrics_scrapes"`
+	BatchAxis     []batchAxisRow   `json:"batch_axis"`
+}
+
+// batchAxisRow is one -batch-max setting of the group-commit sweep: the same
+// overload drive against a single fsync-ing shard, so jobs_per_sec isolates
+// what batching the WAL append+fsync (and the session advance behind it)
+// buys. Decisions are byte-identical across rows; only throughput moves.
+type batchAxisRow struct {
+	BatchMax     int     `json:"batch_max"`
+	OK           int     `json:"ok"`
+	Errors       int     `json:"errors"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	Batches      uint64  `json:"batches"`
+	MeanBatch    float64 `json:"mean_batch_jobs"`
+	WALSyncs     uint64  `json:"wal_syncs"`
+	SyncsPerJob  float64 `json:"syncs_per_job"`
+	SpeedupVsSeq float64 `json:"speedup_vs_batch1"`
+}
+
+// batchAxisExp sweeps -batch-max over one fsync-per-append shard. The driver
+// is open-loop with a bounded in-flight window just under the queue depth:
+// the shard's queue stays deep for the whole run (nothing sheds, nothing
+// stalls), which is the overload regime where adaptive batching forms full
+// groups. Every row submits the same deterministic job stream in-process —
+// no HTTP client noise in the throughput being compared.
+func batchAxisExp(nodes int) ([]batchAxisRow, error) {
+	const inflight, jobs = 120, 2000
+	var rows []batchAxisRow
+	for _, bm := range []int{1, 8, 64} {
+		dir, err := os.MkdirTemp("", "ccfd-batch-")
+		if err != nil {
+			return nil, err
+		}
+		cfg := service.Config{
+			Shards:        1,
+			Nodes:         nodes,
+			QueueDepth:    128,
+			BatchMax:      bm,
+			Dir:           dir,
+			SnapshotEvery: -1, // keep the journal pure WAL: the sweep meters group commit, not compaction
+			DegradeAfter:  -1, // every decision takes the full co-optimized path
+			RetryAfter:    5 * time.Millisecond,
+			WALSync:       true,
+			Engine:        service.EngineConfig{CoOptimize: true},
+		}
+		pool, err := service.NewPool(cfg)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		if err := pool.Start(context.Background()); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+
+		sem := make(chan struct{}, inflight)
+		var wg sync.WaitGroup
+		var ok, errs atomic.Int64
+		var latMu sync.Mutex
+		lats := make([]float64, 0, jobs)
+		begin := time.Now()
+		for i := 0; i < jobs; i++ {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				b := time.Now()
+				if _, err := pool.Submit(context.Background(), smokeSpec(1000+i, nodes)); err != nil {
+					errs.Add(1)
+					return
+				}
+				ok.Add(1)
+				latMu.Lock()
+				lats = append(lats, time.Since(b).Seconds())
+				latMu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(begin).Seconds()
+		st := pool.Stats()
+		drainErr := pool.Drain(context.Background())
+		os.RemoveAll(dir)
+		if drainErr != nil {
+			return nil, drainErr
+		}
+
+		row := batchAxisRow{
+			BatchMax:   bm,
+			OK:         int(ok.Load()),
+			Errors:     int(errs.Load()),
+			ElapsedSec: elapsed,
+			P50Ms:      stats.Percentile(lats, 50) * 1e3,
+			P99Ms:      stats.Percentile(lats, 99) * 1e3,
+			Batches:    st.Batches,
+			WALSyncs:   st.WALSyncs,
+		}
+		if elapsed > 0 {
+			row.JobsPerSec = float64(row.OK) / elapsed
+		}
+		if st.Batches > 0 {
+			row.MeanBatch = float64(st.Admitted) / float64(st.Batches)
+		}
+		if st.Admitted > 0 {
+			row.SyncsPerJob = float64(st.WALSyncs) / float64(st.Admitted)
+		}
+		if len(rows) > 0 && rows[0].JobsPerSec > 0 {
+			row.SpeedupVsSeq = row.JobsPerSec / rows[0].JobsPerSec
+		} else {
+			row.SpeedupVsSeq = 1
+		}
+		fmt.Printf("  batch-max %2d: %6.1f jobs/s, p99 %7.2f ms, %.2f syncs/job (mean batch %.1f), speedup %.2fx\n",
+			bm, row.JobsPerSec, row.P99Ms, row.SyncsPerJob, row.MeanBatch, row.SpeedupVsSeq)
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // metricsScrape summarizes one /metrics pull taken at a phase boundary:
@@ -342,6 +461,14 @@ func serviceLoadExp(outPath, dir string) error {
 		return err
 	}
 
+	// Phase 4: the batch axis — same drive, one fsync-ing shard, three
+	// -batch-max settings.
+	fmt.Println("  phase 4: group-commit batch axis (1 shard, fsync per append)")
+	rep.BatchAxis, err = batchAxisExp(cfg.Nodes)
+	if err != nil {
+		return err
+	}
+
 	fmt.Printf("  normal:   %d ok, p50 %.2f ms, p99 %.2f ms\n", rep.Normal.OK, rep.Normal.P50Ms, rep.Normal.P99Ms)
 	fmt.Printf("  overload: %d ok, %d shed, %d retries, p99 %.2f ms, healthz p99 %.2f ms\n",
 		rep.Overload.OK, rep.Overload.Shed, rep.Overload.Retries, rep.Overload.P99Ms, rep.Overload.HealthP99)
@@ -445,5 +572,98 @@ func serviceSmokeExp(url string, jobs, offset, nodes int, outPath string, wait t
 		}
 	}
 	fmt.Printf("service-smoke: %d decisions ([%d,%d)) appended to %s\n", jobs, offset, offset+jobs, outPath)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// service-burst: concurrent external driver for the kill -9 mid-batch smoke.
+
+// serviceBurstExp slams a running ccfd with `clients` concurrent submitters
+// so the shard queues stay deep and admissions ride real multi-record group
+// commits. Every acknowledged decision is recorded as one {"shard","seq"}
+// JSON line in outPath. The daemon is expected to be killed (kill -9) while
+// the burst is in flight: connection errors and 5xx just end that client's
+// stream. CI restarts the daemon afterwards and asserts acked ⇒ journaled —
+// every recorded seq is <= the restored seq of its shard.
+func serviceBurstExp(url string, jobs, nodes, clients int, outPath string, wait time.Duration) error {
+	if url == "" {
+		return fmt.Errorf("service-burst needs -serviceurl")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(url + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("service-burst: %s not ready after %v", url, wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	var outMu sync.Mutex
+	var acked, errors atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				spec := smokeSpec(i, nodes)
+				// A handful of keys keeps every shard's queue deep, so the
+				// run loops actually form multi-record batches.
+				spec.Key = fmt.Sprintf("burst-%d", i%4)
+				body, _ := json.Marshal(spec)
+				resp, err := client.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errors.Add(1) // daemon killed mid-burst: expected
+					continue
+				}
+				dec, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					if resp.StatusCode == http.StatusTooManyRequests {
+						time.Sleep(2 * time.Millisecond)
+					}
+					errors.Add(1)
+					continue
+				}
+				var d service.Decision
+				if err := json.Unmarshal(dec, &d); err != nil {
+					errors.Add(1)
+					continue
+				}
+				line := fmt.Sprintf("{\"shard\":%d,\"seq\":%d}\n", d.Shard, d.Seq)
+				outMu.Lock()
+				_, werr := out.WriteString(line)
+				outMu.Unlock()
+				if werr != nil {
+					errors.Add(1)
+					continue
+				}
+				acked.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("service-burst: %d acked, %d unacked/errored (kill expected), ledger %s\n",
+		acked.Load(), errors.Load(), outPath)
 	return nil
 }

@@ -42,6 +42,8 @@ func main() {
 		nodes     = flag.Int("nodes", 100, "fabric size each shard engine spans")
 		shards    = flag.Int("shards", 4, "independent engine shards (jobs are hashed to shards by key)")
 		queue     = flag.Int("queue", 64, "per-shard admission queue depth (full queue sheds with 429)")
+		batchMax  = flag.Int("batch-max", 16, "max queued jobs decided per shard loop iteration under one group-committed WAL append (1 = sequential; decisions are identical either way)")
+		batchWait = flag.Duration("batch-wait", 0, "how long a shard lingers for batch followers once one job is pending (0 = adaptive batching only, no added latency)")
 		dir       = flag.String("dir", "", "state directory for snapshots and WALs (empty = no persistence)")
 		snapEvery = flag.Int("snapshot-every", 64, "snapshot (compact the WAL) every this many jobs per shard")
 		deadline  = flag.Duration("deadline", 5*time.Second, "per-request processing deadline")
@@ -79,6 +81,8 @@ func main() {
 		Shards:        *shards,
 		Nodes:         *nodes,
 		QueueDepth:    *queue,
+		BatchMax:      *batchMax,
+		BatchWait:     *batchWait,
 		Dir:           *dir,
 		SnapshotEvery: *snapEvery,
 		DegradeAfter:  *degrade,

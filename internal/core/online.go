@@ -143,6 +143,7 @@ type OnlineEngine struct {
 	jobs     []*coflow.Coflow // one per submitted job, in submission order
 	lastArr  float64
 	egB, inB []int64 // reusable backlog buffers
+	batch    *Batch  // reusable batch handle (BeginBatch)
 	finished bool
 }
 
@@ -175,6 +176,87 @@ func NewOnlineEngine(nodes int, opts OnlineOptions) (*OnlineEngine, error) {
 // co-optimizing, the session is advanced to the arrival and the in-flight
 // backlog read off the live flow state; no history is re-simulated.
 func (e *OnlineEngine) Submit(job OnlineJob) (*OnlineDecision, error) {
+	return e.submit(job, nil)
+}
+
+// Batch shares one backlog snapshot across the co-optimized placement
+// probes of an admission batch. The first probing job at a given arrival
+// pays the full O(flows) BacklogInto scan; followers at the same arrival
+// copy the cached snapshot, incrementally extended with each admitted
+// coflow's own volumes (exact int64 additions — identical to re-probing).
+// Decisions stay byte-identical to sequential Submit calls: every job still
+// advances the session to its arrival (retiring zero-byte coflows and
+// crossing failure edges exactly where the sequential path does); only the
+// redundant backlog re-scan is skipped. Obtain with BeginBatch; a Batch is
+// owned by the engine's goroutine and is invalidated by the next BeginBatch.
+type Batch struct {
+	e       *OnlineEngine
+	arrival float64
+	valid   bool
+	eg, in  []int64
+}
+
+// BeginBatch starts an admission batch. The returned handle reuses
+// engine-owned buffers, so at most one batch may be live at a time.
+func (e *OnlineEngine) BeginBatch() *Batch {
+	if e.batch == nil {
+		e.batch = &Batch{e: e, eg: make([]int64, e.n), in: make([]int64, e.n)}
+	}
+	e.batch.valid = false
+	return e.batch
+}
+
+// Submit is Submit on the engine, sharing the batch's backlog snapshot.
+func (b *Batch) Submit(job OnlineJob) (*OnlineDecision, error) {
+	return b.e.submit(job, b)
+}
+
+// noteAdmitted folds a freshly admitted coflow into the cached snapshot so
+// the next same-arrival probe needs no rescan. A coflow admitted at a
+// different arrival (a PlacementOnly job with an explicit later timestamp)
+// invalidates the cache instead — the next probe re-reads the session.
+func (b *Batch) noteAdmitted(cf *coflow.Coflow, arrival float64) {
+	if !b.valid {
+		return
+	}
+	if arrival != b.arrival {
+		b.valid = false
+		return
+	}
+	for _, f := range cf.Flows {
+		if f.Done {
+			continue
+		}
+		r := int64(f.Remaining + 0.5)
+		b.eg[f.Src] += r
+		b.in[f.Dst] += r
+	}
+}
+
+// BatchResult pairs one job's decision with its submission error.
+type BatchResult struct {
+	Decision *OnlineDecision
+	Err      error
+}
+
+// AdmitBatch submits a batch of jobs that share one admission instant (or a
+// non-decreasing run of instants) through a single Batch handle: the live
+// session advances once per distinct arrival and the backlog snapshot is
+// probed once and reused across the batch. Per-job failures are reported in
+// the matching BatchResult; a failed job admits nothing and later jobs in
+// the batch still submit, exactly as sequential Submit calls would.
+func (e *OnlineEngine) AdmitBatch(jobs []OnlineJob) []BatchResult {
+	b := e.BeginBatch()
+	out := make([]BatchResult, len(jobs))
+	for i, job := range jobs {
+		out[i].Decision, out[i].Err = b.Submit(job)
+	}
+	return out
+}
+
+// submit is the one admission path; bp non-nil shares the batch's backlog
+// snapshot, bp == nil is the sequential path (always probes the session).
+func (e *OnlineEngine) submit(job OnlineJob, bp *Batch) (*OnlineDecision, error) {
 	if e.finished {
 		return nil, errors.New("core: online engine already finished")
 	}
@@ -215,12 +297,27 @@ func (e *OnlineEngine) Submit(job OnlineJob) (*OnlineDecision, error) {
 	if e.opts.CoOptimize && !job.PlacementOnly && len(e.jobs) > 0 {
 		// What does the network look like when this job arrives? Advance
 		// the one live simulation from the previous arrival and read the
-		// outstanding bytes per port in place.
+		// outstanding bytes per port in place. The advance always runs —
+		// even mid-batch at an unchanged arrival it retires just-finished
+		// coflows on exactly the boundaries the sequential path does — but
+		// a batch handle with a snapshot for this arrival replaces the
+		// O(flows) BacklogInto rescan with a copy.
 		if err := e.ses.Advance(job.Arrival); err != nil {
 			return nil, fmt.Errorf("core: online job %d: backlog probe: %w", ji, err)
 		}
-		if err := e.ses.BacklogInto(e.egB, e.inB); err != nil {
-			return nil, fmt.Errorf("core: online job %d: %w", ji, err)
+		if bp != nil && bp.valid && bp.arrival == job.Arrival {
+			copy(e.egB, bp.eg)
+			copy(e.inB, bp.in)
+		} else {
+			if err := e.ses.BacklogInto(e.egB, e.inB); err != nil {
+				return nil, fmt.Errorf("core: online job %d: %w", ji, err)
+			}
+			if bp != nil {
+				bp.arrival = job.Arrival
+				bp.valid = true
+				copy(bp.eg, e.egB)
+				copy(bp.in, e.inB)
+			}
 		}
 		dec.Backlog = partition.Loads{
 			Egress:  append([]int64(nil), e.egB...),
@@ -252,6 +349,9 @@ func (e *OnlineEngine) Submit(job OnlineJob) (*OnlineDecision, error) {
 	}
 	if err := e.ses.Admit(cf); err != nil {
 		return nil, fmt.Errorf("core: online job %d: %w", ji, err)
+	}
+	if bp != nil {
+		bp.noteAdmitted(cf, job.Arrival)
 	}
 	e.jobs = append(e.jobs, cf)
 	dec.Placement = pl

@@ -1,0 +1,181 @@
+package core
+
+// Batched admission equivalence: OnlineEngine.AdmitBatch / Batch.Submit
+// must be byte-identical to sequential Submit — same decisions (placements,
+// backlog snapshots, completed counts), same state digest after every
+// batch, same final report — across seeds × batch sizes {1, 2, 7, 64},
+// with failure edges straddling batch boundaries and zero-remote-byte jobs
+// retiring mid-batch (the two places a shared backlog snapshot could
+// plausibly diverge from per-job probing).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ccf/internal/netsim"
+	"ccf/internal/partition"
+	"ccf/internal/placement"
+	"ccf/internal/workload"
+)
+
+// batchEquivJobs builds one seeded stream with arrival ties (batch groups
+// share a lifted clock), mixed placers, a PlacementOnly job, and a
+// zero-remote-bytes job whose coflow retires on the very next advance.
+func batchEquivJobs(t testing.TB, n int, seed int64) []OnlineJob {
+	t.Helper()
+	local := &workload.Workload{
+		Config:        workload.Config{Nodes: n},
+		Chunks:        partition.MustChunkMatrix(n, 1),
+		SkewPartition: -1,
+	}
+	local.Chunks.H[0] = 1 << 20 // partition 0 lives entirely on node 0
+
+	zipfs := []float64{0, 0.5, 1.0, 1.5}
+	var jobs []OnlineJob
+	arrival := 0.0
+	for k := 0; k < 14; k++ {
+		if k%4 == 3 {
+			arrival += 0.01 * float64(seed%5+1) // ties inside groups of 3
+		}
+		job := OnlineJob{
+			Name:     fmt.Sprintf("job%d", k),
+			Arrival:  arrival,
+			Workload: equivWorkload(t, n, zipfs[k%len(zipfs)], uint64(seed)*31+uint64(k)),
+		}
+		switch k % 3 {
+		case 1:
+			job.Scheduler = placement.Mini{}
+		case 2:
+			job.Scheduler = placement.Hash{}
+		}
+		if k == 6 {
+			job.PlacementOnly = true
+		}
+		if k == 9 {
+			// Hash pins partition 0 to node 0 where all its bytes live: a
+			// coflow with no remote bytes, retired by the next advance.
+			job.Workload = local
+			job.Scheduler = placement.Hash{}
+			job.PlacementOnly = false
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs
+}
+
+func TestOnlineAdmitBatchMatchesSequential(t *testing.T) {
+	const n = 4
+	batchSizes := []int{1, 2, 7, 64}
+	failureModes := []struct {
+		name     string
+		failures []netsim.PortFailure
+	}{
+		{"fault-free", nil},
+		// Down/up edges land mid-stream so batches straddle them.
+		{"port-failure", []netsim.PortFailure{{Port: 1, Down: 0.005, Up: 0.02}}},
+	}
+	for _, fm := range failureModes {
+		fm := fm
+		t.Run(fm.name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				opts := OnlineOptions{CoOptimize: true, Failures: fm.failures}
+				jobs := batchEquivJobs(t, n, seed)
+
+				// Sequential reference: per-job decisions and digests.
+				ref, err := NewOnlineEngine(n, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refDecs := make([]*OnlineDecision, len(jobs))
+				refDigests := make([]uint64, len(jobs))
+				for i, job := range jobs {
+					refDecs[i], err = ref.Submit(job)
+					if err != nil {
+						t.Fatalf("seed %d: sequential job %d: %v", seed, i, err)
+					}
+					refDigests[i] = ref.StateDigest()
+				}
+				refRep, err := ref.Finish()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for _, bs := range batchSizes {
+					eng, err := NewOnlineEngine(n, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for lo := 0; lo < len(jobs); lo += bs {
+						hi := lo + bs
+						if hi > len(jobs) {
+							hi = len(jobs)
+						}
+						for i, res := range eng.AdmitBatch(jobs[lo:hi]) {
+							ji := lo + i
+							if res.Err != nil {
+								t.Fatalf("seed %d batch %d: job %d: %v", seed, bs, ji, res.Err)
+							}
+							if !reflect.DeepEqual(res.Decision, refDecs[ji]) {
+								t.Fatalf("seed %d batch %d: job %d decision diverged:\nbatch %+v\nseq   %+v",
+									seed, bs, ji, res.Decision, refDecs[ji])
+							}
+						}
+						if got, want := eng.StateDigest(), refDigests[hi-1]; got != want {
+							t.Fatalf("seed %d batch %d: digest after jobs [%d,%d): %016x, sequential %016x",
+								seed, bs, lo, hi, got, want)
+						}
+					}
+					rep, err := eng.Finish()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(rep, refRep) {
+						t.Fatalf("seed %d batch %d: final report diverged:\nbatch %+v\nseq   %+v", seed, bs, rep, refRep)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOnlineBatchErrorMidBatch pins per-job failure isolation: a bad job in
+// the middle of a batch reports its error in its slot while the jobs around
+// it decide exactly as a sequential stream without the bad job would not —
+// the engine clock still advanced for the rejected arrival, matching the
+// sequential Submit contract.
+func TestOnlineBatchErrorMidBatch(t *testing.T) {
+	const n = 4
+	jobs := batchEquivJobs(t, n, 1)[:6]
+	bad := OnlineJob{Name: "bad", Arrival: jobs[3].Arrival, Workload: nil}
+	stream := append(append(append([]OnlineJob{}, jobs[:3]...), bad), jobs[3:]...)
+
+	ref, err := NewOnlineEngine(n, OnlineOptions{CoOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDecs := make([]*OnlineDecision, len(stream))
+	for i, job := range stream {
+		dec, err := ref.Submit(job)
+		if (err != nil) != (i == 3) {
+			t.Fatalf("sequential job %d: err=%v", i, err)
+		}
+		refDecs[i] = dec
+	}
+
+	eng, err := NewOnlineEngine(n, OnlineOptions{CoOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range eng.AdmitBatch(stream) {
+		if (res.Err != nil) != (i == 3) {
+			t.Fatalf("batched job %d: err=%v", i, res.Err)
+		}
+		if !reflect.DeepEqual(res.Decision, refDecs[i]) {
+			t.Fatalf("job %d decision diverged:\nbatch %+v\nseq   %+v", i, res.Decision, refDecs[i])
+		}
+	}
+	if got, want := eng.StateDigest(), ref.StateDigest(); got != want {
+		t.Fatalf("digest diverged: %016x vs %016x", got, want)
+	}
+}

@@ -1,0 +1,143 @@
+package netsim_test
+
+// AdmitBatch semantics: registering N coflows at one time boundary in a
+// single call must be byte-identical to N sequential Admit calls — same
+// admission order on arrival ties, same digests after every Advance, same
+// final report — and validation must be all-or-nothing (a bad coflow in the
+// middle of a batch admits nothing).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ccf/internal/coflow"
+	"ccf/internal/netsim"
+)
+
+// batchSpecCoflows builds a seeded stream of coflows grouped by arrival:
+// groups share one arrival instant (the batched daemon's lifted clock), and
+// a few coflows carry zero-size flows to exercise the instant-completion
+// path inside a batch.
+func batchSpecCoflows(seed int64, ports int) [][]*coflow.Coflow {
+	rng := rand.New(rand.NewSource(seed))
+	var groups [][]*coflow.Coflow
+	id := 0
+	arrival := 0.0
+	for g := 0; g < 6; g++ {
+		arrival += rng.Float64() * 2
+		n := 1 + rng.Intn(5)
+		var group []*coflow.Coflow
+		for k := 0; k < n; k++ {
+			var flows []coflow.Flow
+			nf := 1 + rng.Intn(4)
+			for f := 0; f < nf; f++ {
+				src := rng.Intn(ports)
+				dst := rng.Intn(ports)
+				if dst == src {
+					dst = (dst + 1) % ports
+				}
+				size := float64(rng.Intn(64)) * 1e6
+				if rng.Intn(7) == 0 {
+					size = 0 // zero-byte flow: done on admission
+				}
+				flows = append(flows, coflow.Flow{ID: f, Src: src, Dst: dst, Size: size})
+			}
+			group = append(group, coflow.New(id, fmt.Sprintf("c%d", id), arrival, flows))
+			id++
+		}
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+// TestAdmitBatchMatchesSequential pins the batch-admission determinism
+// contract: AdmitBatch(group) followed by Advance equals per-coflow Admit
+// followed by the same Advance, digest for digest, across seeds.
+func TestAdmitBatchMatchesSequential(t *testing.T) {
+	const ports = 8
+	for seed := int64(0); seed < 8; seed++ {
+		seqGroups := batchSpecCoflows(seed, ports)
+		batGroups := batchSpecCoflows(seed, ports)
+
+		mkSession := func() *netsim.Session {
+			fabric, err := netsim.NewFabric(ports, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ses, err := netsim.NewSimulator(fabric, coflow.NewVarys()).Session()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ses
+		}
+		seqSes, batSes := mkSession(), mkSession()
+
+		for gi := range seqGroups {
+			for _, c := range seqGroups[gi] {
+				if err := seqSes.Admit(c); err != nil {
+					t.Fatalf("seed %d group %d: sequential admit: %v", seed, gi, err)
+				}
+			}
+			if err := batSes.AdmitBatch(batGroups[gi]); err != nil {
+				t.Fatalf("seed %d group %d: batch admit: %v", seed, gi, err)
+			}
+			stop := seqGroups[gi][0].Arrival
+			if err := seqSes.Advance(stop); err != nil {
+				t.Fatalf("seed %d group %d: sequential advance: %v", seed, gi, err)
+			}
+			if err := batSes.Advance(stop); err != nil {
+				t.Fatalf("seed %d group %d: batch advance: %v", seed, gi, err)
+			}
+			if s, b := seqSes.Digest(), batSes.Digest(); s != b {
+				t.Fatalf("seed %d group %d: digest diverged: sequential %016x, batch %016x", seed, gi, s, b)
+			}
+		}
+
+		seqRep, err := seqSes.Finish()
+		if err != nil {
+			t.Fatalf("seed %d: sequential finish: %v", seed, err)
+		}
+		batRep, err := batSes.Finish()
+		if err != nil {
+			t.Fatalf("seed %d: batch finish: %v", seed, err)
+		}
+		if seqRep.Makespan != batRep.Makespan {
+			t.Fatalf("seed %d: makespan %g vs %g", seed, seqRep.Makespan, batRep.Makespan)
+		}
+		if len(seqRep.CCTs) != len(batRep.CCTs) {
+			t.Fatalf("seed %d: %d vs %d CCTs", seed, len(seqRep.CCTs), len(batRep.CCTs))
+		}
+		for id, cct := range seqRep.CCTs {
+			if batRep.CCTs[id] != cct {
+				t.Fatalf("seed %d: coflow %d CCT %g vs %g", seed, id, cct, batRep.CCTs[id])
+			}
+		}
+		if s, b := seqSes.Digest(), batSes.Digest(); s != b {
+			t.Fatalf("seed %d: final digest diverged: %016x vs %016x", seed, s, b)
+		}
+	}
+}
+
+// TestAdmitBatchAllOrNothing feeds a batch whose middle coflow is invalid:
+// the call must fail without staging any coflow from the batch.
+func TestAdmitBatchAllOrNothing(t *testing.T) {
+	const ports = 4
+	fabric, err := netsim.NewFabric(ports, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := netsim.NewSimulator(fabric, coflow.NewVarys()).Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good1 := coflow.New(0, "good1", 0, []coflow.Flow{{ID: 0, Src: 0, Dst: 1, Size: 1e6}})
+	bad := coflow.New(1, "bad", 0, []coflow.Flow{{ID: 0, Src: 2, Dst: 2, Size: 1e6}}) // self-loop
+	good2 := coflow.New(2, "good2", 0, []coflow.Flow{{ID: 0, Src: 1, Dst: 3, Size: 1e6}})
+	if err := ses.AdmitBatch([]*coflow.Coflow{good1, bad, good2}); err == nil {
+		t.Fatal("batch with a self-loop flow admitted")
+	}
+	if n := ses.AdmittedCount(); n != 0 {
+		t.Fatalf("failed batch staged %d coflows, want 0", n)
+	}
+}

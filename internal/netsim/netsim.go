@@ -266,10 +266,8 @@ func (s *Simulator) RunInto(coflows []*coflow.Coflow, rep *Report) error {
 	if err := ss.begin(s, rep); err != nil {
 		return err
 	}
-	for _, c := range coflows {
-		if err := ss.admit(c); err != nil {
-			return err
-		}
+	if err := ss.admitBatch(coflows); err != nil {
+		return err
 	}
 	// Dependency references are validated up front — unlike a streaming
 	// session, the full coflow population is known before time starts.

@@ -228,6 +228,16 @@ func (ss *Session) Admit(c *coflow.Coflow) error {
 
 // admit is Admit without the lifecycle gate, shared with RunInto's prologue.
 func (ss *Session) admit(c *coflow.Coflow) error {
+	if err := ss.validateAdmit(c); err != nil {
+		return err
+	}
+	ss.stage(c)
+	return nil
+}
+
+// validateAdmit checks a coflow's flows against the fabric without mutating
+// any session or flow state, so batch admission can be all-or-nothing.
+func (ss *Session) validateAdmit(c *coflow.Coflow) error {
 	ports := ss.s.fabric.Ports
 	for _, f := range c.Flows {
 		if f.Src < 0 || f.Src >= ports || f.Dst < 0 || f.Dst >= ports {
@@ -237,13 +247,21 @@ func (ss *Session) admit(c *coflow.Coflow) error {
 		if f.Src == f.Dst {
 			return fmt.Errorf("netsim: flow %d of coflow %d is a self-loop at port %d", f.ID, c.ID, f.Src)
 		}
+	}
+	return nil
+}
+
+// stage registers a validated coflow: reset its flow state and insert it
+// into the arrival-sorted admission queue.
+func (ss *Session) stage(c *coflow.Coflow) {
+	for _, f := range c.Flows {
 		f.Remaining = f.Size
 		f.Done = f.Size <= 0
 		f.Rate = 0
 	}
 	c.Completed = false
 	c.SentBytes = 0
-	c.BeginSim(ports)
+	c.BeginSim(ss.s.fabric.Ports)
 	ss.all = append(ss.all, c)
 	// Insert into the arrival-sorted admission queue; per-item insertion of a
 	// stable sort is itself stable, so batch admission (RunInto) and
@@ -253,6 +271,34 @@ func (ss *Session) admit(c *coflow.Coflow) error {
 		p[i], p[i-1] = p[i-1], p[i]
 	}
 	ss.pending = p
+}
+
+// AdmitBatch registers N coflows at one time boundary in a single call —
+// the multi-admit entry point the batched daemon path uses. Validation is
+// all-or-nothing: every coflow is checked against the fabric before any
+// flow state is touched, so a bad coflow in the middle of a batch admits
+// nothing. The registered order and arrival-sorted queue are identical to N
+// sequential Admit calls (stage inserts stably, ties keep batch order), no
+// epoch work runs in between, and the next Advance stops on exactly the
+// same boundaries — batch and sequential admission are byte-identical.
+func (ss *Session) AdmitBatch(cs []*coflow.Coflow) error {
+	if err := ss.check(); err != nil {
+		return err
+	}
+	return ss.latch(ss.admitBatch(cs))
+}
+
+// admitBatch is AdmitBatch without the lifecycle gate, shared with RunInto's
+// prologue.
+func (ss *Session) admitBatch(cs []*coflow.Coflow) error {
+	for _, c := range cs {
+		if err := ss.validateAdmit(c); err != nil {
+			return err
+		}
+	}
+	for _, c := range cs {
+		ss.stage(c)
+	}
 	return nil
 }
 

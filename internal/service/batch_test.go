@@ -1,0 +1,346 @@
+package service
+
+// Batched admission equivalence and group-commit failure modes at the
+// service layer. The shard run loop is gated between batches with an
+// unbuffered control reply — while the run loop is parked on that send it
+// cannot drain its queue, so the test enqueues K requests in a known order
+// and releases the gate to have them decided as one batch. Decisions,
+// digests and journal contents must be byte-identical to BatchMax=1.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gateShard parks the shard run loop between batches: handleControl blocks
+// sending on the unbuffered reply channel until release() receives it.
+// Returns once the run loop has accepted the control message, so after
+// gateShard returns the loop is guaranteed not to touch its queue.
+func gateShard(sh *shard) (release func()) {
+	c := control{kind: ctlState, reply: make(chan ctlReply)}
+	sh.ctl <- c
+	return func() { <-c.reply }
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// enqueueOrdered submits jobs[lo:hi] concurrently but in a deterministic
+// queue order: each submission is only launched once the previous one is
+// observed in the shard queue. Returns a wait func that collects the
+// decisions (indexed relative to lo) once the gate releases.
+func enqueueOrdered(t *testing.T, p *Pool, sh *shard, jobs []JobSpec, lo, hi int) func() ([]*Decision, []error) {
+	t.Helper()
+	decs := make([]*Decision, hi-lo)
+	errs := make([]error, hi-lo)
+	var wg sync.WaitGroup
+	for i := lo; i < hi; i++ {
+		i := i
+		depth := len(sh.queue)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			decs[i-lo], errs[i-lo] = p.Submit(context.Background(), jobs[i])
+		}()
+		waitFor(t, fmt.Sprintf("job %d enqueued", i), func() bool { return len(sh.queue) == depth+1 })
+	}
+	return func() ([]*Decision, []error) {
+		wg.Wait()
+		return decs, errs
+	}
+}
+
+func batchConfig(dir string, batchMax int) Config {
+	cfg := detConfig(dir)
+	cfg.Shards = 1 // one shard: queue order == submission order
+	cfg.QueueDepth = 128
+	cfg.BatchMax = batchMax
+	cfg.WALSync = true
+	return cfg
+}
+
+// TestBatchedMatchesSequential is the service-layer half of the
+// byte-identity contract: the same job stream decided in forced batches of
+// {2, 7, 64} must produce decisions and engine digests identical to the
+// BatchMax=1 sequential path, across 8 seeds. (Batch size 1 is itself the
+// sequential path, covered by TestKillRestartDeterminism.)
+func TestBatchedMatchesSequential(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			jobs := detJobs(seed, 4)
+
+			ref := startPool(t, batchConfig(t.TempDir(), 1))
+			refDecs := runStream(t, ref, jobs)
+			refStates := poolStates(t, ref)
+			if err := ref.Drain(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, bs := range []int{2, 7, 64} {
+				p := startPool(t, batchConfig(t.TempDir(), bs))
+				sh := p.shards[0]
+				got := make([][]byte, 0, len(jobs))
+				for lo := 0; lo < len(jobs); lo += bs {
+					hi := lo + bs
+					if hi > len(jobs) {
+						hi = len(jobs)
+					}
+					release := gateShard(sh)
+					wait := enqueueOrdered(t, p, sh, jobs, lo, hi)
+					release()
+					decs, errs := wait()
+					for i, err := range errs {
+						if err != nil {
+							t.Fatalf("batch %d: job %d: %v", bs, lo+i, err)
+						}
+					}
+					for _, dec := range decs {
+						b, err := json.Marshal(dec)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got = append(got, b)
+					}
+				}
+				for i := range refDecs {
+					if string(refDecs[i]) != string(got[i]) {
+						t.Fatalf("batch %d: decision %d diverged:\nseq   %s\nbatch %s", bs, i, refDecs[i], got[i])
+					}
+				}
+				gotStates := poolStates(t, p)
+				if refStates[0] != gotStates[0] {
+					t.Fatalf("batch %d: state diverged: seq %+v batch %+v", bs, refStates[0], gotStates[0])
+				}
+				if err := p.Drain(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestGroupCommitAmortizesFsync pins the whole point of batching: a batch of
+// 8 admissions lands in the journal through exactly one group commit and one
+// fsync, where sequential admission pays eight.
+func TestGroupCommitAmortizesFsync(t *testing.T) {
+	p := startPool(t, batchConfig(t.TempDir(), 16))
+	defer p.Kill()
+	sh := p.shards[0]
+	jobs := detJobs(0, 4)
+
+	release := gateShard(sh)
+	wait := enqueueOrdered(t, p, sh, jobs, 0, 8)
+	release()
+	if _, errs := wait(); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	st := p.Stats().Shards[0]
+	if st.Admitted != 8 || st.Batches != 1 || st.WALGroupCommits != 1 || st.WALSyncs != 1 {
+		t.Fatalf("after one batch of 8: admitted=%d batches=%d group_commits=%d syncs=%d, want 8/1/1/1",
+			st.Admitted, st.Batches, st.WALGroupCommits, st.WALSyncs)
+	}
+
+	// One more lone job: one more batch, one more commit, one more fsync.
+	if _, err := p.Submit(context.Background(), jobs[8]); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats().Shards[0]
+	if st.Admitted != 9 || st.Batches != 2 || st.WALGroupCommits != 2 || st.WALSyncs != 2 {
+		t.Fatalf("after follow-up job: admitted=%d batches=%d group_commits=%d syncs=%d, want 9/2/2/2",
+			st.Admitted, st.Batches, st.WALGroupCommits, st.WALSyncs)
+	}
+}
+
+// TestBatchDeadlineDropMidBatch pins per-job failure isolation inside a
+// batch: a request whose deadline passed in the queue is dropped without
+// touching the engine, and the rest of the batch decides exactly as a stream
+// that never contained it.
+func TestBatchDeadlineDropMidBatch(t *testing.T) {
+	jobs := detJobs(2, 4)[:5]
+	live := append(append([]JobSpec{}, jobs[:2]...), jobs[3:]...)
+
+	ref := startPool(t, batchConfig(t.TempDir(), 1))
+	refDecs := runStream(t, ref, live)
+	refStates := poolStates(t, ref)
+	if err := ref.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	p := startPool(t, batchConfig(t.TempDir(), 8))
+	sh := p.shards[0]
+	release := gateShard(sh)
+	wait01 := enqueueOrdered(t, p, sh, jobs, 0, 2)
+	// Job 2 enters the queue with an already-expired context; Submit returns
+	// its context error immediately but the request is enqueued regardless.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	depth := len(sh.queue)
+	if _, err := p.Submit(dead, jobs[2]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired submit: %v", err)
+	}
+	waitFor(t, "dead job enqueued", func() bool { return len(sh.queue) == depth+1 })
+	wait34 := enqueueOrdered(t, p, sh, jobs, 3, 5)
+	release()
+
+	var got [][]byte
+	for _, wait := range []func() ([]*Decision, []error){wait01, wait34} {
+		decs, errs := wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("live job: %d: %v", i, err)
+			}
+		}
+		for _, dec := range decs {
+			b, err := json.Marshal(dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, b)
+		}
+	}
+	for i := range refDecs {
+		if string(refDecs[i]) != string(got[i]) {
+			t.Fatalf("decision %d diverged:\nref   %s\nbatch %s", i, refDecs[i], got[i])
+		}
+	}
+	if gotStates := poolStates(t, p); refStates[0] != gotStates[0] {
+		t.Fatalf("state diverged: ref %+v got %+v", refStates[0], gotStates[0])
+	}
+	if drops := p.Stats().Shards[0].DeadlineDrops; drops != 1 {
+		t.Fatalf("deadline drops = %d, want 1", drops)
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFsyncErrorMidBatchFencesShard pins the batch-wide acked⇒journaled
+// invariant under a failing group commit: when the single fsync covering a
+// batch fails, the shard fences itself and acknowledges NOTHING from the
+// batch — every caller gets ErrShardFailed, no decision escapes, and further
+// submissions bounce.
+func TestFsyncErrorMidBatchFencesShard(t *testing.T) {
+	dir := t.TempDir()
+	p := startPool(t, batchConfig(dir, 8))
+	sh := p.shards[0]
+	jobs := detJobs(1, 4)
+
+	// Admit two jobs normally so the failure lands mid-journal, then arm the
+	// fault. The write to syncErr is ordered before the run loop's read by
+	// the queue send of the next batch (channel send happens-before receive).
+	runStream(t, p, jobs[:2])
+	injected := errors.New("injected fsync failure")
+	sh.wal.syncErr = func() error { return injected }
+
+	release := gateShard(sh)
+	wait := enqueueOrdered(t, p, sh, jobs, 2, 7)
+	release()
+	decs, errs := wait()
+	for i := range errs {
+		if !errors.Is(errs[i], ErrShardFailed) {
+			t.Fatalf("batch job %d: err=%v, want ErrShardFailed", i, errs[i])
+		}
+		if decs[i] != nil {
+			t.Fatalf("batch job %d: got a decision %+v from a failed group commit", i, decs[i])
+		}
+	}
+	if !sh.failed.Load() {
+		t.Fatal("shard not fenced after fsync failure")
+	}
+	if _, err := p.Submit(context.Background(), jobs[7]); !errors.Is(err, ErrShardFailed) {
+		t.Fatalf("post-fence submit: %v, want ErrShardFailed", err)
+	}
+	if st := p.Stats().Shards[0]; st.Admitted != 2 {
+		t.Fatalf("published admitted = %d after fenced batch, want 2 (nothing acked)", st.Admitted)
+	}
+	p.Kill()
+
+	// Restart from the same directory: whatever prefix of the torn group is
+	// on disk was never acknowledged, so any consistent replay is legal; the
+	// two acked jobs must be there.
+	p2 := startPool(t, batchConfig(dir, 8))
+	if seq := poolStates(t, p2)[0].Seq; seq < 2 {
+		t.Fatalf("restored seq = %d, want >= 2 (acked jobs lost)", seq)
+	}
+	if err := p2.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornBatchRecordReplaysPrefix pins torn-group-commit recovery: a crash
+// that cuts the last record of a group commit in half must replay cleanly to
+// the end of the intact prefix — same engine state as a daemon that only
+// ever saw those jobs — rather than erroring or replaying garbage.
+func TestTornBatchRecordReplaysPrefix(t *testing.T) {
+	dir := t.TempDir()
+	cfg := batchConfig(dir, 8)
+	cfg.SnapshotEvery = -1 // keep every record in the WAL
+	p := startPool(t, cfg)
+	sh := p.shards[0]
+	jobs := detJobs(4, 4)
+
+	release := gateShard(sh)
+	wait := enqueueOrdered(t, p, sh, jobs, 0, 6)
+	release()
+	if _, errs := wait(); errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	p.Kill()
+
+	// Tear the last record of the group: cut the file mid-way through its
+	// final line, as a crash during the (single) batch write would.
+	path := walPath(dir, 0)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := b[:len(b)-1] // drop trailing newline
+	lastLine := 0
+	for i := len(body) - 1; i >= 0; i-- {
+		if body[i] == '\n' {
+			lastLine = i + 1
+			break
+		}
+	}
+	cut := lastLine + (len(body)-lastLine)/2
+	if err := os.WriteFile(path, b[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := startPool(t, cfg)
+	gotState := poolStates(t, p2)[0]
+	if gotState.Seq != 5 {
+		t.Fatalf("restored seq = %d, want 5 (intact prefix of the torn group)", gotState.Seq)
+	}
+	if err := p2.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replayed prefix must equal a daemon that only ever admitted those
+	// five jobs sequentially.
+	ref := startPool(t, batchConfig(t.TempDir(), 1))
+	runStream(t, ref, jobs[:5])
+	refState := poolStates(t, ref)[0]
+	if err := ref.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if refState.Digest != gotState.Digest || refState.Clock != gotState.Clock {
+		t.Fatalf("torn-tail replay diverged: got %+v want %+v", gotState, refState)
+	}
+}

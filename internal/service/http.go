@@ -27,11 +27,13 @@ package service
 // header), 503 draining/fenced, 504 deadline.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -184,10 +186,36 @@ func statusFor(err error) int {
 	return http.StatusInternalServerError
 }
 
+// jsonCodec is one pooled response-encoding buffer: the encoder writes into
+// the owned bytes.Buffer, which is flushed to the ResponseWriter in a single
+// Write. Pooling keeps the per-request encode path from allocating a fresh
+// encoder state machine and growth-sized buffer on every reply (pinned by
+// BenchmarkWriteJSON / TestWriteJSONAllocs).
+type jsonCodec struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var codecPool = sync.Pool{
+	New: func() any {
+		c := &jsonCodec{}
+		c.enc = json.NewEncoder(&c.buf)
+		return c
+	},
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	c := codecPool.Get().(*jsonCodec)
+	c.buf.Reset()
+	if err := c.enc.Encode(v); err != nil {
+		codecPool.Put(c)
+		http.Error(w, `{"error":"encode failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(c.buf.Bytes())
+	codecPool.Put(c)
 }
 
 // errorBody is the JSON error envelope.
@@ -200,6 +228,15 @@ func writeError(w http.ResponseWriter, p *Pool, code int, err error) {
 	body := errorBody{Error: err.Error()}
 	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		ra := p.RetryAfter()
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			// Spread shed retries across [base, 2*base) with jitter keyed by
+			// (shard, journal seq): deterministic — replayable in tests, no
+			// rand in the error path — while distinct shards shedding at the
+			// same instant still stagger their clients, and repeated 429s
+			// from one shard walk the window as its sequence advances.
+			ra += time.Duration(shedJitter(shed.Shard, shed.Seq) * float64(ra))
+		}
 		body.RetryAfterMs = ra.Milliseconds()
 		// The standard header is second-granular; round up so zero never
 		// means "hammer me again immediately".
@@ -210,4 +247,21 @@ func writeError(w http.ResponseWriter, p *Pool, code int, err error) {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	}
 	writeJSON(w, code, body)
+}
+
+// shedJitter maps (shard, seq) onto [0, 1) with FNV-1a over both values'
+// bytes — allocation-free and well spread even for adjacent shard IDs.
+func shedJitter(shard int, seq uint64) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, x := range [2]uint64{uint64(shard), seq} {
+		for i := 0; i < 8; i++ {
+			h ^= (x >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	return float64(h%1024) / 1024
 }

@@ -1,0 +1,138 @@
+package service
+
+// Shed-path HTTP behaviour: the deterministic per-shard Retry-After jitter
+// on 429s, and the pooled JSON encode path's allocation guarantee.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestShedRetryAfterJitterPerShard pins the 429 backoff fix: the hint is the
+// configured base plus a deterministic jitter keyed by (shard, journal seq),
+// so two shards shedding at the same instant stagger their clients instead
+// of synchronizing a retry storm — and the value is reproducible, not
+// random, so this test can assert it exactly.
+func TestShedRetryAfterJitterPerShard(t *testing.T) {
+	const base = 2 * time.Second
+	cfg := Config{
+		Shards:     2,
+		Nodes:      4,
+		QueueDepth: 1,
+		RetryAfter: base,
+		Engine:     EngineConfig{CoOptimize: true},
+	}
+	p := startPool(t, cfg)
+	srv := httptest.NewServer(NewHandler(p, HTTPConfig{RequestTimeout: 10 * time.Second}))
+	defer srv.Close()
+
+	keyFor := func(shardID int) string {
+		for i := 0; ; i++ {
+			k := fmt.Sprintf("jitter-%d", i)
+			if int(hashKey(k))%cfg.Shards == shardID {
+				return k
+			}
+		}
+	}
+
+	// Gate both run loops and fill each shard's depth-1 queue, so the next
+	// submission per shard sheds.
+	releases := make([]func(), cfg.Shards)
+	fills := make([]chan reply, cfg.Shards)
+	for id, sh := range p.shards {
+		releases[id] = gateShard(sh)
+		spec := genSpec(fmt.Sprintf("fill-%d", id), uint64(id))
+		spec.Key = keyFor(id)
+		rep := make(chan reply, 1)
+		if err := sh.trySubmit(&request{spec: spec, ctx: context.Background(), enq: time.Now(), reply: rep}); err != nil {
+			t.Fatal(err)
+		}
+		fills[id] = rep
+	}
+
+	shedMs := func(shardID int) int64 {
+		t.Helper()
+		spec := genSpec(fmt.Sprintf("shed-%d", shardID), 99)
+		spec.Key = keyFor(shardID)
+		resp, body := postJob(t, srv.URL, spec)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("shard %d: %d %s, want 429", shardID, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("shard %d: 429 without Retry-After header", shardID)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil {
+			t.Fatalf("shard %d: body %q: %v", shardID, body, err)
+		}
+		return eb.RetryAfterMs
+	}
+
+	got := make([]int64, cfg.Shards)
+	for id := range p.shards {
+		got[id] = shedMs(id)
+		want := (base + time.Duration(shedJitter(id, 0)*float64(base))).Milliseconds()
+		if got[id] != want {
+			t.Fatalf("shard %d retry_after_ms = %d, want %d (base %d + fnv jitter)",
+				id, got[id], want, base.Milliseconds())
+		}
+		if got[id] < base.Milliseconds() || got[id] >= 2*base.Milliseconds() {
+			t.Fatalf("shard %d retry_after_ms = %d outside [base, 2*base)", id, got[id])
+		}
+		if again := shedMs(id); again != got[id] {
+			t.Fatalf("shard %d jitter not deterministic: %d then %d", id, got[id], again)
+		}
+	}
+	if got[0] == got[1] {
+		t.Fatalf("both shards emitted retry_after_ms = %d; per-shard jitter must differ", got[0])
+	}
+
+	for id := range p.shards {
+		releases[id]()
+		<-fills[id]
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// decisionFixture is a representative submit response for the encode path.
+func decisionFixture() *Decision {
+	return &Decision{
+		Name: "alloc-probe", Key: "k", Shard: 1, Seq: 42, Arrival: 3.25,
+		Placement: []int{0, 1, 2, 3}, Completed: 7, Clock: 3.5,
+		BacklogEgress: []int64{1, 2, 3, 4}, BacklogIngress: []int64{4, 3, 2, 1},
+	}
+}
+
+// TestWriteJSONAllocs guards the pooled encode path: steady-state response
+// encoding must not allocate a fresh encoder or buffer per reply. The bound
+// leaves room for the header-map set and encoder-internal scratch, not for a
+// per-call buffer (which alone would blow well past it).
+func TestWriteJSONAllocs(t *testing.T) {
+	dec := decisionFixture()
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, dec) // warm the pool and the body buffer
+	allocs := testing.AllocsPerRun(200, func() {
+		rec.Body.Reset()
+		writeJSON(rec, http.StatusOK, dec)
+	})
+	if allocs > 4 {
+		t.Fatalf("writeJSON allocates %.1f objects per response, want <= 4", allocs)
+	}
+}
+
+func BenchmarkWriteJSON(b *testing.B) {
+	dec := decisionFixture()
+	rec := httptest.NewRecorder()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Body.Reset()
+		writeJSON(rec, http.StatusOK, dec)
+	}
+}

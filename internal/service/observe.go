@@ -54,11 +54,15 @@ type shardObs struct {
 	deadlineDrops *metrics.Counter
 	rejected      *metrics.Counter
 	walFailures   *metrics.Counter
+	groupCommits  *metrics.Counter
+	walSyncs      *metrics.Counter
 
 	decisionLatency *metrics.Histogram
 	queueWait       *metrics.Histogram
 	walAppend       *metrics.Histogram
 	snapshotWrite   *metrics.Histogram
+	batchSize       *metrics.Histogram
+	walGroupRecords *metrics.Histogram
 
 	// Per-port backlog mirrors: the run loop samples the live session after
 	// each admission (BacklogInto is engine-goroutine-only) and publishes
@@ -90,11 +94,16 @@ func (sh *shard) initObs(obs Observability, birth time.Time) {
 		o.deadlineDrops = r.Counter("ccfd_jobs_deadline_dropped_total", "Queued jobs dropped because the client deadline passed before processing.", lbl...)
 		o.rejected = r.Counter("ccfd_jobs_rejected_total", "Jobs the engine rejected (invalid specs).", lbl...)
 		o.walFailures = r.Counter("ccfd_wal_failures_total", "Journal append or snapshot failures (each fences the shard).", lbl...)
+		o.groupCommits = r.Counter("ccfd_wal_group_commits_total", "WAL group commits (one physical write per admission batch).", lbl...)
+		o.walSyncs = r.Counter("ccfd_wal_syncs_total", "WAL fsyncs issued (at most one per group commit with -wal-sync).", lbl...)
 
 		o.decisionLatency = r.Histogram("ccfd_decision_latency_seconds", "End-to-end decision latency, enqueue to reply.", nil, lbl...)
 		o.queueWait = r.Histogram("ccfd_queue_wait_seconds", "Time a job sat in the shard queue before processing.", nil, lbl...)
-		o.walAppend = r.Histogram("ccfd_wal_append_seconds", "WAL append latency, including fsync when -wal-sync is on.", nil, lbl...)
+		o.walAppend = r.Histogram("ccfd_wal_append_seconds", "WAL group-commit latency (all records of a batch, one write, one optional fsync).", nil, lbl...)
 		o.snapshotWrite = r.Histogram("ccfd_snapshot_write_seconds", "Snapshot write+rename latency (the WAL compaction point).", nil, lbl...)
+		batchBuckets := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+		o.batchSize = r.Histogram("ccfd_batch_size_jobs", "Jobs drained per shard loop iteration (the admission batch).", batchBuckets, lbl...)
+		o.walGroupRecords = r.Histogram("ccfd_wal_group_records", "Records per WAL group commit — jobs amortized per fsync.", batchBuckets, lbl...)
 
 		r.GaugeFunc("ccfd_queue_depth", "Jobs waiting in the shard queue.", func() float64 { return float64(len(sh.queue)) }, lbl...)
 		r.GaugeFunc("ccfd_queue_capacity", "Shard queue capacity.", func() float64 { return float64(cap(sh.queue)) }, lbl...)
@@ -155,8 +164,11 @@ func (sh *shard) sampleBacklog() {
 }
 
 // jobAdmitted records the full lifecycle of one successful admission:
-// histograms, the span-ring entry, and a Debug log line.
-func (o *shardObs) jobAdmitted(spec *JobSpec, shardID int, seq uint64, enq, start, decide, journal, done time.Time, lifted bool) {
+// histograms, the span-ring entry, and a Debug log line. batch is the size
+// of the admission batch the job rode in; the journal span covers the
+// batch's shared group commit (it ends at the same instant for every job in
+// the batch).
+func (o *shardObs) jobAdmitted(spec *JobSpec, shardID int, seq uint64, enq, start, decide, journal, done time.Time, lifted bool, batch int) {
 	o.queueWait.Observe(start.Sub(enq).Seconds())
 	o.decisionLatency.Observe(done.Sub(enq).Seconds())
 	id := traceID(shardID, seq)
@@ -165,7 +177,7 @@ func (o *shardObs) jobAdmitted(spec *JobSpec, shardID int, seq uint64, enq, star
 		o.traces.add(JobTrace{
 			ID: id, Name: spec.Name, Key: spec.RouteKey(),
 			Shard: shardID, Seq: seq, Outcome: "ok",
-			Lifted: lifted, Degraded: spec.PlacementOnly,
+			Lifted: lifted, Degraded: spec.PlacementOnly, Batch: batch,
 			Spans: []TraceSpan{
 				{Name: "queue", Start: rel(enq), Dur: start.Sub(enq).Seconds()},
 				{Name: "decide", Start: rel(start), Dur: decide.Sub(start).Seconds()},
@@ -179,6 +191,7 @@ func (o *shardObs) jobAdmitted(spec *JobSpec, shardID int, seq uint64, enq, star
 			slog.String("trace_id", id), slog.String("job", spec.Name),
 			slog.Int("shard", shardID), slog.Uint64("seq", seq),
 			slog.Bool("lifted", lifted), slog.Bool("degraded", spec.PlacementOnly),
+			slog.Int("batch", batch),
 			slog.Duration("latency", done.Sub(enq)))
 	}
 }

@@ -25,6 +25,18 @@ type Config struct {
 	// QueueDepth bounds each shard's admission queue (default 64). A full
 	// queue sheds with ErrOverloaded instead of growing without bound.
 	QueueDepth int
+	// BatchMax bounds how many queued jobs a shard drains and decides per
+	// loop iteration (default 16). The batch shares one session advance,
+	// one backlog probe per distinct clock, and one group-committed WAL
+	// append + fsync; decisions are byte-identical to BatchMax=1. 1
+	// restores strictly sequential admission.
+	BatchMax int
+	// BatchWait is how long a shard lingers for followers once one job is
+	// pending and the queue has momentarily drained (default 0: adaptive
+	// batching only — batches form from queue pressure and sparse traffic
+	// pays zero added latency). Only raises batch sizes, never changes
+	// decisions.
+	BatchWait time.Duration
 	// Engine pins the per-shard engine identity (scheduler, bandwidth,
 	// co-optimization); it is recorded in snapshots and verified at restore.
 	Engine EngineConfig
@@ -70,6 +82,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.QueueDepth < 1 {
 		return c, fmt.Errorf("service: QueueDepth must be positive, got %d", c.QueueDepth)
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 16
+	}
+	if c.BatchMax < 1 {
+		return c, fmt.Errorf("service: BatchMax must be positive, got %d", c.BatchMax)
+	}
+	if c.BatchWait < 0 {
+		c.BatchWait = 0
 	}
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 64
@@ -296,6 +317,9 @@ type ShardStats struct {
 	Lifted          uint64  `json:"lifted"`
 	DeadlineDrops   uint64  `json:"deadline_drops"`
 	Rejected        uint64  `json:"rejected"`
+	Batches         uint64  `json:"batches"`
+	WALGroupCommits uint64  `json:"wal_group_commits"`
+	WALSyncs        uint64  `json:"wal_syncs"`
 	Clock           float64 `json:"clock"`
 	SnapshotSeq     uint64  `json:"snapshot_seq"`
 	SnapshotAgeJobs uint64  `json:"snapshot_age_jobs"`
@@ -313,6 +337,8 @@ type Stats struct {
 	Admitted      uint64       `json:"admitted"`
 	Shed          uint64       `json:"shed"`
 	Degraded      uint64       `json:"degraded"`
+	Batches       uint64       `json:"batches"`
+	WALSyncs      uint64       `json:"wal_syncs"`
 	P50Ms         float64      `json:"p50_ms"`
 	P99Ms         float64      `json:"p99_ms"`
 	Shards        []ShardStats `json:"shards"`
@@ -331,21 +357,24 @@ func (p *Pool) Stats() *Stats {
 	for _, sh := range p.shards {
 		lat := sh.lat.snapshotValues()
 		ss := ShardStats{
-			Shard:         sh.id,
-			Ready:         sh.ready.Load() && !sh.overloaded(),
-			QueueDepth:    len(sh.queue),
-			QueueCap:      cap(sh.queue),
-			Admitted:      sh.pubSeq.Load(),
-			Completed:     sh.pubCompleted.Load(),
-			Shed:          sh.shed.Load(),
-			Degraded:      sh.degraded.Load(),
-			Lifted:        sh.lifted.Load(),
-			DeadlineDrops: sh.deadlineDrop.Load(),
-			Rejected:      sh.rejected.Load(),
-			Clock:         math.Float64frombits(sh.pubClock.Load()),
-			SnapshotSeq:   sh.snapSeqPub.Load(),
-			P50Ms:         stats.Percentile(lat, 50) * 1e3,
-			P99Ms:         stats.Percentile(lat, 99) * 1e3,
+			Shard:           sh.id,
+			Ready:           sh.ready.Load() && !sh.overloaded(),
+			QueueDepth:      len(sh.queue),
+			QueueCap:        cap(sh.queue),
+			Admitted:        sh.pubSeq.Load(),
+			Completed:       sh.pubCompleted.Load(),
+			Shed:            sh.shed.Load(),
+			Degraded:        sh.degraded.Load(),
+			Lifted:          sh.lifted.Load(),
+			DeadlineDrops:   sh.deadlineDrop.Load(),
+			Rejected:        sh.rejected.Load(),
+			Batches:         sh.pubBatches.Load(),
+			WALGroupCommits: sh.pubGroupCommits.Load(),
+			WALSyncs:        sh.pubWALSyncs.Load(),
+			Clock:           math.Float64frombits(sh.pubClock.Load()),
+			SnapshotSeq:     sh.snapSeqPub.Load(),
+			P50Ms:           stats.Percentile(lat, 50) * 1e3,
+			P99Ms:           stats.Percentile(lat, 99) * 1e3,
 		}
 		ss.SnapshotAgeJobs = ss.Admitted - ss.SnapshotSeq
 		if at := sh.snapAtNanos.Load(); at > 0 {
@@ -354,6 +383,8 @@ func (p *Pool) Stats() *Stats {
 		out.Admitted += ss.Admitted
 		out.Shed += ss.Shed
 		out.Degraded += ss.Degraded
+		out.Batches += ss.Batches
+		out.WALSyncs += ss.WALSyncs
 		allLat = append(allLat, lat...)
 		out.Shards = append(out.Shards, ss)
 	}

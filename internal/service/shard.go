@@ -35,6 +35,22 @@ var (
 	ErrShardFailed = errors.New("service: shard persistence failed")
 )
 
+// ShedError is the typed overload rejection: it unwraps to ErrOverloaded
+// (statusFor still maps it to 429) and carries the shedding shard plus its
+// journal sequence so the HTTP layer can derive a deterministic Retry-After
+// jitter — different shards shedding at the same instant hand out different
+// backoffs, without any global randomness that would break replay tests.
+type ShedError struct {
+	Shard int
+	Seq   uint64
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("service: shard %d queue full", e.Shard)
+}
+
+func (e *ShedError) Unwrap() error { return ErrOverloaded }
+
 // request is one queued submission.
 type request struct {
 	spec  JobSpec
@@ -102,16 +118,24 @@ type shard struct {
 	failed atomic.Bool // persistence failure fence
 
 	// Published mirrors of run-loop state, read lock-free by /stats.
-	pubSeq       atomic.Uint64
-	pubClock     atomic.Uint64 // math.Float64bits
-	pubCompleted atomic.Uint64
-	shed         atomic.Uint64
-	degraded     atomic.Uint64
-	lifted       atomic.Uint64
-	deadlineDrop atomic.Uint64
-	rejected     atomic.Uint64 // engine-level rejections (bad jobs)
-	snapSeqPub   atomic.Uint64
-	snapAtNanos  atomic.Int64
+	pubSeq          atomic.Uint64
+	pubClock        atomic.Uint64 // math.Float64bits
+	pubCompleted    atomic.Uint64
+	shed            atomic.Uint64
+	degraded        atomic.Uint64
+	lifted          atomic.Uint64
+	deadlineDrop    atomic.Uint64
+	rejected        atomic.Uint64 // engine-level rejections (bad jobs)
+	pubBatches      atomic.Uint64 // processed admission batches
+	pubGroupCommits atomic.Uint64 // WAL group commits (physical writes)
+	pubWALSyncs     atomic.Uint64 // WAL fsyncs issued
+	snapSeqPub      atomic.Uint64
+	snapAtNanos     atomic.Int64
+
+	// batchBuf and entriesBuf are the run loop's reusable batch scratch:
+	// drained requests and their held-back admission results. Run-loop-owned.
+	batchBuf   []*request
+	entriesBuf []batchEntry
 
 	lat latencyRing
 
@@ -275,16 +299,65 @@ func (sh *shard) run() {
 				sh.ready.Store(false)
 				return
 			}
+			batch := append(sh.batchBuf[:0], req)
+			batch = sh.fillBatch(batch)
+			sh.batchBuf = batch
 			if sh.crash.Load() {
-				req.reply <- reply{err: ErrKilled}
+				for _, r := range batch {
+					r.reply <- reply{err: ErrKilled}
+				}
 				continue
 			}
-			sh.process(req)
+			sh.processBatch(batch)
 			if sh.cfg.SnapshotEvery > 0 && sh.seq-sh.snapSeq >= uint64(sh.cfg.SnapshotEvery) {
 				sh.trySnapshot()
 			}
 		}
 	}
+}
+
+// fillBatch drains queued followers behind the first request of a batch:
+// whatever is already waiting is taken without blocking, up to BatchMax.
+// When BatchWait > 0 and the queue momentarily empties, the shard lingers
+// that long for stragglers before deciding; with the default BatchWait of 0
+// batching is purely adaptive — batches form from queue pressure and sparse
+// traffic pays zero added latency. A closed queue ends the fill; the outer
+// loop observes the close on its next receive.
+func (sh *shard) fillBatch(batch []*request) []*request {
+	for len(batch) < sh.cfg.BatchMax {
+		select {
+		case req, ok := <-sh.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, req)
+		default:
+			if sh.cfg.BatchWait <= 0 {
+				return batch
+			}
+			return sh.lingerFill(batch)
+		}
+	}
+	return batch
+}
+
+// lingerFill waits up to BatchWait (one deadline for the whole linger) for
+// followers to join a non-full batch.
+func (sh *shard) lingerFill(batch []*request) []*request {
+	timer := time.NewTimer(sh.cfg.BatchWait)
+	defer timer.Stop()
+	for len(batch) < sh.cfg.BatchMax {
+		select {
+		case req, ok := <-sh.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
 }
 
 func (sh *shard) handleControl(c control) {
@@ -315,93 +388,148 @@ func (sh *shard) state() ShardState {
 	}
 }
 
-// process admits one job: deadline check, shed decision, arrival
-// resolution (with typed-error lifting), engine submit, journal, reply.
-func (sh *shard) process(req *request) {
+// batchEntry is one admitted job held back for the batch's group commit:
+// the reply is only sent once every record in the batch is journaled.
+type batchEntry struct {
+	req             *request
+	dec             *Decision
+	seq             uint64
+	lifted          bool
+	tStart, tDecide time.Time
+}
+
+// processBatch admits a drained batch in three phases. Phase 1 decides each
+// job in queue order — per-job deadline checks, the degradation ladder,
+// arrival resolution (lifting through one engine batch handle, which shares
+// a single backlog snapshot per clock instant), engine submit. Submissions
+// that fail reply immediately (they never touch the journal); admitted jobs
+// are held. Phase 2 journals every admitted record with one group-committed
+// WAL append (one write, one fsync): a failure fences the shard and every
+// held decision bounces with ErrShardFailed — zero replies acked, the
+// batch-wide acked⇒journaled invariant. Phase 3 publishes and releases the
+// held replies. Decisions are byte-identical to processing the same queue
+// order with BatchMax=1: the engine path is the same per-job sequence, only
+// the backlog rescan and the fsync are amortized.
+func (sh *shard) processBatch(batch []*request) {
 	obs := sh.obs
-	var tStart time.Time
+	eb := sh.eng.BeginBatch()
+	entries := sh.entriesBuf[:0]
+	for _, req := range batch {
+		var tStart time.Time
+		if obs != nil {
+			tStart = time.Now()
+		}
+		if req.ctx.Err() != nil {
+			// The client's deadline passed while the request sat in the
+			// queue; drop it before it touches the engine so the client's
+			// 504 is truthful: nothing was admitted.
+			sh.deadlineDrop.Add(1)
+			if obs != nil {
+				obs.deadlineDrops.Inc()
+				obs.jobFailed(&req.spec, sh.id, "deadline", context.Cause(req.ctx))
+			}
+			req.reply <- reply{err: context.Cause(req.ctx)}
+			continue
+		}
+		if sh.failed.Load() {
+			req.reply <- reply{err: ErrShardFailed}
+			continue
+		}
+
+		spec := req.spec // shard-local copy; the effective record being built
+		wait := time.Since(req.enq)
+		degradedByLoad := sh.cfg.DegradeAfter > 0 && wait > sh.cfg.DegradeAfter
+		if degradedByLoad {
+			spec.PlacementOnly = true
+		}
+
+		lifted := false
+		if spec.Arrival == nil {
+			now := sh.eng.Clock()
+			spec.Arrival = &now
+			lifted = true
+		}
+		job, err := materialize(&spec, sh.cfg.Nodes)
+		if err != nil {
+			sh.rejected.Add(1)
+			if obs != nil {
+				obs.rejected.Inc()
+				obs.jobFailed(&spec, sh.id, "rejected", err)
+			}
+			req.reply <- reply{err: err}
+			continue
+		}
+		dec, err := eb.Submit(job)
+		if errors.Is(err, core.ErrArrivalOutOfOrder) {
+			// Concurrent intake reordered arrivals across clients; the
+			// engine rejected loudly (typed, state untouched) and we lift
+			// the arrival to the shard clock and resubmit. The lifted
+			// arrival is what gets journaled, so replay repeats this exact
+			// decision.
+			now := sh.eng.Clock()
+			spec.Arrival = &now
+			job.Arrival = now
+			lifted = true
+			dec, err = eb.Submit(job)
+		}
+		if err != nil {
+			sh.rejected.Add(1)
+			if obs != nil {
+				obs.rejected.Inc()
+				obs.jobFailed(&spec, sh.id, "rejected", err)
+			}
+			req.reply <- reply{err: fmt.Errorf("%w: %v", ErrBadJob, err)}
+			continue
+		}
+
+		sh.seq++
+		sh.specs = append(sh.specs, spec)
+		var tDecide time.Time
+		if obs != nil {
+			tDecide = time.Now()
+		}
+		out := &Decision{
+			Name:      spec.Name,
+			Key:       spec.RouteKey(),
+			Shard:     sh.id,
+			Seq:       sh.seq,
+			Arrival:   *spec.Arrival,
+			Lifted:    lifted,
+			Degraded:  spec.PlacementOnly,
+			Placement: dec.Placement.Dest,
+			Completed: dec.Completed,
+			Clock:     sh.eng.Clock(),
+		}
+		if dec.Backlog.Egress != nil {
+			out.BacklogEgress = dec.Backlog.Egress
+			out.BacklogIngress = dec.Backlog.Ingress
+		}
+		entries = append(entries, batchEntry{
+			req: req, dec: out, seq: sh.seq, lifted: lifted, tStart: tStart, tDecide: tDecide,
+		})
+	}
+	sh.entriesBuf = entries
+
+	var tGroup time.Time
 	if obs != nil {
-		tStart = time.Now()
+		tGroup = time.Now()
 	}
-	if req.ctx.Err() != nil {
-		// The client's deadline passed while the request sat in the queue;
-		// drop it before it touches the engine so the client's 504 is
-		// truthful: nothing was admitted.
-		sh.deadlineDrop.Add(1)
+	if sh.wal != nil && len(entries) > 0 {
+		firstSeq := sh.seq - uint64(len(entries)) + 1
+		werr := sh.wal.AppendBatch(firstSeq, sh.specs[len(sh.specs)-len(entries):])
 		if obs != nil {
-			obs.deadlineDrops.Inc()
-			obs.jobFailed(&req.spec, sh.id, "deadline", context.Cause(req.ctx))
-		}
-		req.reply <- reply{err: context.Cause(req.ctx)}
-		return
-	}
-	if sh.failed.Load() {
-		req.reply <- reply{err: ErrShardFailed}
-		return
-	}
-
-	spec := req.spec // shard-local copy; the effective record being built
-	wait := time.Since(req.enq)
-	degradedByLoad := sh.cfg.DegradeAfter > 0 && wait > sh.cfg.DegradeAfter
-	if degradedByLoad {
-		spec.PlacementOnly = true
-	}
-
-	lifted := false
-	if spec.Arrival == nil {
-		now := sh.eng.Clock()
-		spec.Arrival = &now
-		lifted = true
-	}
-	job, err := materialize(&spec, sh.cfg.Nodes)
-	if err != nil {
-		sh.rejected.Add(1)
-		if obs != nil {
-			obs.rejected.Inc()
-			obs.jobFailed(&spec, sh.id, "rejected", err)
-		}
-		req.reply <- reply{err: err}
-		return
-	}
-	dec, err := sh.eng.Submit(job)
-	if errors.Is(err, core.ErrArrivalOutOfOrder) {
-		// Concurrent intake reordered arrivals across clients; the engine
-		// rejected loudly (typed, state untouched) and we lift the arrival
-		// to the shard clock and resubmit. The lifted arrival is what gets
-		// journaled, so replay repeats this exact decision.
-		now := sh.eng.Clock()
-		spec.Arrival = &now
-		job.Arrival = now
-		lifted = true
-		dec, err = sh.eng.Submit(job)
-	}
-	if err != nil {
-		sh.rejected.Add(1)
-		if obs != nil {
-			obs.rejected.Inc()
-			obs.jobFailed(&spec, sh.id, "rejected", err)
-		}
-		req.reply <- reply{err: fmt.Errorf("%w: %v", ErrBadJob, err)}
-		return
-	}
-
-	sh.seq++
-	sh.specs = append(sh.specs, spec)
-	var tDecide time.Time
-	if obs != nil {
-		tDecide = time.Now()
-	}
-	if sh.wal != nil {
-		werr := sh.wal.Append(sh.seq, &spec)
-		if obs != nil {
-			obs.walAppend.Observe(time.Since(tDecide).Seconds())
+			obs.walAppend.Observe(time.Since(tGroup).Seconds())
+			obs.walGroupRecords.Observe(float64(len(entries)))
 		}
 		if werr != nil {
-			// The engine admitted a job the journal did not record: the
+			// The engine admitted jobs the journal did not record: the
 			// shard's memory is now ahead of its log, so it fences itself
-			// off rather than hand out decisions a restart would disown.
+			// off and acknowledges nothing from this batch rather than hand
+			// out decisions a restart would disown.
 			sh.fence(werr)
-			req.reply <- reply{err: fmt.Errorf("%w: %v", ErrShardFailed, werr)}
+			for i := range entries {
+				entries[i].req.reply <- reply{err: fmt.Errorf("%w: %v", ErrShardFailed, werr)}
+			}
 			return
 		}
 	}
@@ -410,43 +538,46 @@ func (sh *shard) process(req *request) {
 		tJournal = time.Now()
 	}
 
-	out := &Decision{
-		Name:      spec.Name,
-		Key:       spec.RouteKey(),
-		Shard:     sh.id,
-		Seq:       sh.seq,
-		Arrival:   *spec.Arrival,
-		Lifted:    lifted,
-		Degraded:  spec.PlacementOnly,
-		Placement: dec.Placement.Dest,
-		Completed: dec.Completed,
-		Clock:     sh.eng.Clock(),
-	}
-	if dec.Backlog.Egress != nil {
-		out.BacklogEgress = dec.Backlog.Egress
-		out.BacklogIngress = dec.Backlog.Ingress
-	}
-	if spec.PlacementOnly {
-		sh.degraded.Add(1)
-	}
-	if lifted {
-		sh.lifted.Add(1)
+	sh.pubBatches.Add(1)
+	for i := range entries {
+		e := &entries[i]
+		if e.dec.Degraded {
+			sh.degraded.Add(1)
+		}
+		if e.lifted {
+			sh.lifted.Add(1)
+		}
 	}
 	sh.publish()
-	sh.lat.record(time.Since(req.enq))
 	if obs != nil {
-		tDone := time.Now()
-		obs.admitted.Inc()
-		if spec.PlacementOnly {
-			obs.degraded.Inc()
+		obs.batchSize.Observe(float64(len(batch)))
+		if sh.wal != nil && len(entries) > 0 {
+			obs.groupCommits.Inc()
+			if sh.cfg.WALSync {
+				obs.walSyncs.Inc()
+			}
 		}
-		if lifted {
-			obs.lifted.Inc()
-		}
-		sh.sampleBacklog()
-		obs.jobAdmitted(&spec, sh.id, sh.seq, req.enq, tStart, tDecide, tJournal, tDone, lifted)
 	}
-	req.reply <- reply{dec: out}
+	for i := range entries {
+		e := &entries[i]
+		sh.lat.record(time.Since(e.req.enq))
+		if obs != nil {
+			tDone := time.Now()
+			obs.admitted.Inc()
+			if e.dec.Degraded {
+				obs.degraded.Inc()
+			}
+			if e.lifted {
+				obs.lifted.Inc()
+			}
+			spec := &sh.specs[len(sh.specs)-int(sh.seq-e.seq)-1]
+			obs.jobAdmitted(spec, sh.id, e.seq, e.req.enq, e.tStart, e.tDecide, tJournal, tDone, e.lifted, len(batch))
+		}
+		e.req.reply <- reply{dec: e.dec}
+	}
+	if obs != nil && len(entries) > 0 {
+		sh.sampleBacklog()
+	}
 }
 
 // fence marks the shard failed: readiness drops, submissions bounce. The
@@ -470,6 +601,10 @@ func (sh *shard) publish() {
 	sh.pubSeq.Store(sh.seq)
 	sh.pubClock.Store(math.Float64bits(sh.eng.Clock()))
 	sh.pubCompleted.Store(uint64(sh.eng.CompletedJobs()))
+	if sh.wal != nil {
+		sh.pubGroupCommits.Store(sh.wal.groupCommits)
+		sh.pubWALSyncs.Store(sh.wal.syncs)
+	}
 }
 
 // snapshot compacts the journal: write the full state atomically, then
@@ -549,7 +684,7 @@ func (sh *shard) trySubmit(req *request) error {
 		if sh.obs != nil {
 			sh.obs.shed.Inc()
 		}
-		return ErrOverloaded
+		return &ShedError{Shard: sh.id, Seq: sh.pubSeq.Load()}
 	}
 }
 

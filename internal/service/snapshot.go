@@ -225,6 +225,19 @@ type walRecord struct {
 type walWriter struct {
 	f    *os.File
 	sync bool
+	buf  []byte // reusable group-commit buffer
+
+	// Run-loop-owned accounting, published to /stats through shard atomics:
+	// one group commit is one physical write (and at most one fsync) no
+	// matter how many records it carries.
+	groupCommits uint64
+	records      uint64
+	syncs        uint64
+
+	// syncErr, when non-nil, replaces the fsync call — the fault-injection
+	// seam the group-commit failure-mode tests use to make the fsync of a
+	// full batch fail without touching the filesystem.
+	syncErr func() error
 }
 
 func openWAL(path string, sync bool) (*walWriter, error) {
@@ -235,24 +248,63 @@ func openWAL(path string, sync bool) (*walWriter, error) {
 	return &walWriter{f: f, sync: sync}, nil
 }
 
-// Append journals one effective job record under seq. The decision is only
-// released to the client after Append returns, so "acknowledged" implies
-// "journaled".
-func (w *walWriter) Append(seq uint64, spec *JobSpec) error {
+// appendRecord marshals one WAL line into buf.
+func appendRecord(buf []byte, seq uint64, spec *JobSpec) ([]byte, error) {
 	job, err := json.Marshal(spec)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rec := walRecord{Seq: seq, CRC: crc32.ChecksumIEEE(job), Job: job}
 	line, err := json.Marshal(&rec)
 	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, line...)
+	return append(buf, '\n'), nil
+}
+
+// Append journals one effective job record under seq. The decision is only
+// released to the client after Append returns, so "acknowledged" implies
+// "journaled".
+func (w *walWriter) Append(seq uint64, spec *JobSpec) error {
+	return w.appendBuffered(seq, spec, nil, 1)
+}
+
+// AppendBatch group-commits a batch: every record is marshalled into one
+// buffer, written with a single Write, and covered by a single fsync when
+// the journal is synchronous. Records land in the same one-line-per-record
+// format Append produces, so replay is oblivious to batching; a torn tail
+// of the group (the crash cut the write short) replays its intact prefix,
+// and none of those decisions were acknowledged — replies are only sent
+// after AppendBatch returns, batch-wide.
+func (w *walWriter) AppendBatch(firstSeq uint64, specs []JobSpec) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	return w.appendBuffered(firstSeq, &specs[0], specs[1:], len(specs))
+}
+
+func (w *walWriter) appendBuffered(firstSeq uint64, first *JobSpec, rest []JobSpec, n int) error {
+	buf, err := appendRecord(w.buf[:0], firstSeq, first)
+	if err != nil {
 		return err
 	}
-	line = append(line, '\n')
-	if _, err := w.f.Write(line); err != nil {
+	for i := range rest {
+		if buf, err = appendRecord(buf, firstSeq+1+uint64(i), &rest[i]); err != nil {
+			return err
+		}
+	}
+	w.buf = buf
+	if _, err := w.f.Write(buf); err != nil {
 		return err
 	}
+	w.groupCommits++
+	w.records += uint64(n)
 	if w.sync {
+		w.syncs++
+		if w.syncErr != nil {
+			return w.syncErr()
+		}
 		return w.f.Sync()
 	}
 	return nil

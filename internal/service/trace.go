@@ -33,6 +33,7 @@ type JobTrace struct {
 	Outcome  string      `json:"outcome"`
 	Lifted   bool        `json:"lifted,omitempty"`
 	Degraded bool        `json:"degraded,omitempty"`
+	Batch    int         `json:"batch,omitempty"`
 	Spans    []TraceSpan `json:"spans"`
 }
 
@@ -129,6 +130,9 @@ func WriteJobTrace(w io.Writer, traces []JobTrace) error {
 	byShard := map[int][]telemetry.Span{}
 	for _, t := range traces {
 		args := map[string]any{"trace_id": t.ID, "job": t.Name, "seq": t.Seq}
+		if t.Batch > 0 {
+			args["batch"] = t.Batch
+		}
 		for _, sp := range t.Spans {
 			byShard[t.Shard] = append(byShard[t.Shard], telemetry.Span{
 				Name: sp.Name, Start: sp.Start, Dur: sp.Dur, Args: args,
