@@ -38,7 +38,7 @@ func main() {
 		exp = flag.String("exp", "all", "experiment: all, fig5, fig6, fig7, motivating, "+
 			"ablation-rank, ablation-pmult, ablation-sort, ablation-exact, "+
 			"ablation-hetero, ablation-topo, ablation-bound, netsim-bench, online-bench, "+
-			"chaos, recovery, telemetry, service-load, service-smoke, service-burst")
+			"chaos, recovery, telemetry, service-load, service-smoke, service-burst, trace-scale")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = paper's ≈1 TB)")
 		bandwidth  = flag.Float64("bw", 0, "port bandwidth in bytes/sec (0 = CoflowSim default 128 MB/s)")
 		csvDir     = flag.String("csv", "", "directory to write per-panel CSV files (empty = none)")
@@ -66,11 +66,26 @@ func main() {
 
 		burstClients = flag.Int("burstclients", 32, "concurrent submitters for the service-burst experiment")
 		burstOut     = flag.String("burstout", "SMOKE_acked.jsonl", "acked {shard,seq} ledger the service-burst driver writes")
+
+		density       = flag.String("density", "1,10,100,1000", "comma-separated density multipliers for the trace-scale experiment")
+		traceJSON     = flag.String("tracejson", "BENCH_trace.json", "output path for the trace-scale experiment's JSON")
+		traceMachines = flag.Int("tracemachines", 16, "fabric width for the trace-scale experiment")
+		traceCoflows  = flag.Int("tracecoflows", 12, "base (×1) coflow count for the trace-scale experiment")
+		traceDense    = flag.Float64("tracedense", 100, "largest density also run through the dense batch path for the speedup/equality check")
 	)
 	flag.Parse()
 	chartPanels = *chart
 
 	if err := validateBenchFlags(*exp, *scale, *bandwidth, *seeds, *onlineJobs, *workers, *benchPorts, *benchCoflows); err != nil {
+		fmt.Fprintln(os.Stderr, "ccfbench:", err)
+		os.Exit(2)
+	}
+	densities, err := parseDensities(*density)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccfbench:", err)
+		os.Exit(2)
+	}
+	if err := validateTraceFlags(*traceJSON, *traceMachines, *traceCoflows, *traceDense); err != nil {
 		fmt.Fprintln(os.Stderr, "ccfbench:", err)
 		os.Exit(2)
 	}
@@ -190,6 +205,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *exp == "trace-scale" {
+		if err := traceScaleExp(*traceJSON, densities, *traceMachines, *traceCoflows, *traceDense); err != nil {
+			fmt.Fprintf(os.Stderr, "ccfbench: trace-scale: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *exp == "service-burst" {
 		if err := serviceBurstExp(*serviceURL, *serviceJobs, *serviceNodes, *burstClients, *burstOut, *serviceWait); err != nil {
 			fmt.Fprintf(os.Stderr, "ccfbench: service-burst: %v\n", err)
@@ -207,6 +228,24 @@ var knownExperiments = map[string]bool{
 	"ablation-bound": true, "netsim-bench": true, "online-bench": true,
 	"chaos": true, "recovery": true, "telemetry": true,
 	"service-load": true, "service-smoke": true, "service-burst": true,
+	"trace-scale": true,
+}
+
+// validateTraceFlags rejects nonsensical trace-scale knob values.
+func validateTraceFlags(traceJSON string, machines, coflows int, denseMax float64) error {
+	if traceJSON == "" {
+		return fmt.Errorf("-tracejson must not be empty")
+	}
+	if machines < 2 {
+		return fmt.Errorf("-tracemachines must be at least 2, got %d", machines)
+	}
+	if coflows <= 0 {
+		return fmt.Errorf("-tracecoflows must be positive, got %d", coflows)
+	}
+	if denseMax <= 0 {
+		return fmt.Errorf("-tracedense must be positive, got %g", denseMax)
+	}
+	return nil
 }
 
 // validateBenchFlags rejects nonsensical knob values with a one-line message

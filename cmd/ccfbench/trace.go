@@ -1,0 +1,164 @@
+package main
+
+// trace-scale: replay the synthetic Facebook trace at increasing density
+// multipliers and write BENCH_trace.json. Each density row replays
+// round(base·density) coflows with interarrivals compressed by the same
+// factor through the streaming path (fbtrace.Stream → core.ReplayStream with
+// the event-horizon loop and completed-coflow release), so the trace never
+// materialises as a slice. Densities up to -tracedense are also run through
+// the dense batch path (fbtrace.Generate → netsim.RunInto) to (a) measure
+// speedup_vs_dense and (b) assert the two paths agree bit for bit; beyond
+// that the dense path is skipped (at ×1000 it would dominate CI) and the
+// row carries only the streaming numbers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"ccf/internal/coflow"
+	"ccf/internal/core"
+	"ccf/internal/fbtrace"
+	"ccf/internal/netsim"
+)
+
+type traceRow struct {
+	Density    float64 `json:"density"`
+	Coflows    int     `json:"coflows"`
+	Scheduler  string  `json:"scheduler"`
+	WallSec    float64 `json:"wall_sec"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	Epochs     int     `json:"epochs"`
+	AvgCCT     float64 `json:"avg_cct_sec"`
+	// PeakResident is the session's coflow high-water mark — the
+	// deterministic memory bound of the streaming replay.
+	PeakResident int `json:"peak_resident_coflows"`
+	// HeapAllocBytes samples runtime heap-in-use right after the replay (a
+	// peak-RSS proxy; GC timing makes it approximate, PeakResident is the
+	// deterministic counterpart).
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// Dense-comparison fields, present only on rows where the dense path ran.
+	DenseWallSec   float64 `json:"dense_wall_sec,omitempty"`
+	SpeedupVsDense float64 `json:"speedup_vs_dense,omitempty"`
+	DenseMatch     bool    `json:"dense_match,omitempty"`
+}
+
+// parseDensities parses the -density list. Every entry must be a positive,
+// finite number.
+func parseDensities(list string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		d, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-density: %q is not a number", tok)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("-density: multipliers must be positive, got %g", d)
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-density: empty list")
+	}
+	return out, nil
+}
+
+func traceScaleExp(path string, densities []float64, machines, coflows int, denseMax float64) error {
+	fmt.Printf("trace-scale: FB-like trace replay, %d machines, base %d coflows (dense comparison up to ×%g):\n",
+		machines, coflows, denseMax)
+	var rows []traceRow
+	for _, density := range densities {
+		cfg := fbtrace.Config{
+			Machines:            machines,
+			Coflows:             coflows,
+			MeanInterarrivalSec: 1,
+			Seed:                42,
+			Density:             density,
+		}
+		st, err := fbtrace.Stream(cfg)
+		if err != nil {
+			return err
+		}
+		total := st.Total()
+
+		runtime.GC()
+		start := time.Now()
+		rep, err := core.ReplayStream(machines, st, core.ReplayOptions{
+			Scheduler:        coflow.NewVarys(),
+			EventHorizon:     true,
+			ReleaseCompleted: true,
+		})
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return fmt.Errorf("density %g: %w", density, err)
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+
+		row := traceRow{
+			Density:        density,
+			Coflows:        total,
+			Scheduler:      "varys",
+			WallSec:        wall,
+			JobsPerSec:     float64(total) / wall,
+			Epochs:         rep.Epochs,
+			AvgCCT:         rep.AvgCCT,
+			PeakResident:   rep.PeakResident,
+			HeapAllocBytes: ms.HeapAlloc,
+		}
+
+		if density <= denseMax {
+			denseStart := time.Now()
+			cfs, err := fbtrace.Generate(cfg)
+			if err != nil {
+				return err
+			}
+			fab, err := netsim.NewFabric(machines, 0)
+			if err != nil {
+				return err
+			}
+			var denseRep netsim.Report
+			if err := netsim.NewSimulator(fab, coflow.NewVarys()).RunInto(cfs, &denseRep); err != nil {
+				return fmt.Errorf("density %g dense: %w", density, err)
+			}
+			row.DenseWallSec = time.Since(denseStart).Seconds()
+			row.SpeedupVsDense = row.DenseWallSec / wall
+			row.DenseMatch = rep.AvgCCT == denseRep.AvgCCT &&
+				rep.Makespan == denseRep.Makespan &&
+				rep.TotalBytes == denseRep.TotalBytes &&
+				rep.MaxCCT == denseRep.MaxCCT &&
+				rep.Epochs == denseRep.Epochs
+			if !row.DenseMatch {
+				return fmt.Errorf("density %g: streaming replay diverged from dense batch "+
+					"(avgCCT %v vs %v, makespan %v vs %v, epochs %d vs %d)",
+					density, rep.AvgCCT, denseRep.AvgCCT, rep.Makespan, denseRep.Makespan,
+					rep.Epochs, denseRep.Epochs)
+			}
+		}
+
+		rows = append(rows, row)
+		fmt.Printf("  ×%-6g %7d coflows  %8.2fs wall  %9.1f jobs/s  peak resident %6d",
+			density, total, row.WallSec, row.JobsPerSec, row.PeakResident)
+		if row.DenseWallSec > 0 {
+			fmt.Printf("  dense %8.2fs  speedup %5.1fx", row.DenseWallSec, row.SpeedupVsDense)
+		}
+		fmt.Println()
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", path)
+	return nil
+}

@@ -50,7 +50,12 @@ type Coflow struct {
 	// relative to Arrival; the Varys deadline-mode scheduler admits or
 	// rejects based on it. Zero means best-effort.
 	Deadline float64
-	Flows    []*Flow
+	// Weight scales this coflow's contribution to weighted completion-time
+	// metrics (Report.WeightedAvgCCT and the weighted-CCT schedulers built on
+	// it). Zero means the default weight 1, so every existing construction
+	// path keeps its outputs byte-identical.
+	Weight float64
+	Flows  []*Flow
 
 	// SentBytes accumulates bytes transferred so far; Aalo's D-CLAS uses it
 	// to infer priority without prior knowledge.
@@ -80,6 +85,16 @@ type simCache struct {
 	live             []*Flow // non-done flows, preserving Flows order
 	egPorts, inPorts []int   // ports with ≥1 live flow (unordered)
 	egCnt, inCnt     []int   // per-port live-flow counts, len ≥ fabric ports
+
+	// Sparse-mode (event-horizon) bookkeeping; see sparse.go. moved marks
+	// that the coflow's progress state changed since its priority key was
+	// last computed; keyed marks schedKey as a valid cache of that key;
+	// granted marks that the last sparse Allocate assigned this coflow
+	// nonzero rates; blockEg/blockIn memoize the last port the coflow was
+	// found blocked on (-1 when none), so re-checking a still-blocked coflow
+	// is O(1) instead of O(ports touched).
+	moved, keyed, granted bool
+	blockEg, blockIn      int
 }
 
 // BeginSim (re)builds the live-flow cache for a simulation over a fabric of
@@ -90,6 +105,10 @@ type simCache struct {
 // scanning Flows only for coflows that never entered a simulation.
 func (c *Coflow) BeginSim(ports int) {
 	c.sim.valid = true
+	c.sim.moved = true
+	c.sim.keyed = false
+	c.sim.granted = false
+	c.sim.blockEg, c.sim.blockIn = -1, -1
 	c.sim.live = c.sim.live[:0]
 	c.sim.egPorts = c.sim.egPorts[:0]
 	c.sim.inPorts = c.sim.inPorts[:0]
@@ -158,6 +177,7 @@ func (c *Coflow) Reactivate(f *Flow) {
 	if !c.sim.valid {
 		return
 	}
+	c.sim.moved = true
 	c.sim.live = append(c.sim.live, f)
 	if c.sim.egCnt[f.Src] == 0 {
 		c.sim.egPorts = append(c.sim.egPorts, f.Src)
@@ -627,6 +647,9 @@ type orderedMADD struct {
 	// re-key pass (key functions need private demand buffers). Nil until
 	// sharded re-keying actually runs.
 	keyScratch []allocScratch
+	// sparse holds the event-horizon bookkeeping (see sparse.go); its zero
+	// value keeps Allocate on the dense path above.
+	sparse sparseState
 }
 
 func (o *orderedMADD) Name() string { return o.name }
@@ -636,6 +659,10 @@ func (o *orderedMADD) Name() string { return o.name }
 func (o *orderedMADD) PriorityOrder() []*Coflow { return o.ord.order }
 
 func (o *orderedMADD) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
+	if o.sparse.on {
+		o.allocateSparse(active, egCap, inCap)
+		return
+	}
 	resetRatesSharded(active, o.shard)
 	o.scratch.ensure(len(egCap))
 	if o.ord.sync(active) || o.dynamic {
@@ -713,6 +740,7 @@ type Aalo struct {
 	scratch allocScratch
 	ord     orderState
 	shard   ShardOptions
+	sparse  sparseState
 }
 
 // NewAalo returns an Aalo scheduler with the paper defaults.
@@ -740,6 +768,10 @@ func (a *Aalo) queueOf(c *Coflow) int {
 // is re-sorted only when membership changes or a coflow crosses a queue
 // threshold (queue index, then arrival, then ID is a strict total order).
 func (a *Aalo) Allocate(_ float64, active []*Coflow, egCap, inCap []float64) {
+	if a.sparse.on {
+		a.allocateSparse(active, egCap, inCap)
+		return
+	}
 	resetRatesSharded(active, a.shard)
 	a.scratch.ensure(len(egCap))
 	resort := a.ord.sync(active)

@@ -1,0 +1,227 @@
+package coflow
+
+// Event-horizon (sparse) allocation: scheduler-side support for the engine
+// mode in which per-epoch cost scales with what *changed* since the last
+// epoch, not with everything active (DESIGN.md §16).
+//
+// The contract is the repository's standing one: bit-identical results to
+// the dense path. Every shortcut below is a proof-carrying no-op:
+//
+//   - priority keys are cached per coflow and recomputed only when the
+//     engine marked the coflow moved (bytes advanced, a flow completed or
+//     was reactivated, a failure voided progress). A clean coflow's key is
+//     a pure function of unchanged state, so the cached float is the bit
+//     the dense re-key would have produced;
+//   - the persistent order is re-sorted only when membership changed or a
+//     recomputed key differs from its cached value. Sorting an
+//     already-sorted slice is the identity permutation, so skipping it is
+//     exact;
+//   - a coflow whose port set touches a port with no residual capacity is
+//     skipped before demand accumulation: maddAllocate's blocked branch
+//     (the early break over the same port sets) has no state effects, so
+//     not calling it at all is exact. The last blocking port is memoized,
+//     making the re-check O(1) while the port stays saturated;
+//   - the work-conserving backfill is skipped whenever any coflow was
+//     blocked: that coflow's live flows sit unfrozen on a port with
+//     capacity ≤ 0, MADD grants only ever subtract capacity, so
+//     water-filling's first level computes α ≤ 0 and freezes everything
+//     without granting — a pure no-op on rates and capacities;
+//   - rate resets walk only the coflows granted rates by the previous
+//     Allocate (writing 0 over 0 is the identity). When the backfill ran,
+//     every active coflow was granted, and the reset falls back to the
+//     dense pass. Done flows dropped from the live cache may keep a stale
+//     Rate that the dense reset would have zeroed; no reader observes done
+//     flows' rates (the engine and telemetry iterate live flows only).
+//
+// The engine's half of the contract: call MarkSimMoved on every coflow
+// whose progress state changes, and read SimGranted/LastGrantDense to
+// restrict its own flow passes to rate-carrying coflows.
+
+// SparseAllocator is implemented by schedulers that support the
+// event-horizon engine mode. netsim.Session enables it only for schedulers
+// that implement this interface; everything else keeps the dense loop.
+type SparseAllocator interface {
+	Scheduler
+	// SetSparse toggles sparse allocation. While on, the engine must mark
+	// moved coflows (MarkSimMoved); in return, after each Allocate either
+	// LastGrantDense reports true or exactly the coflows with SimGranted
+	// carry nonzero rates. Off restores the dense path and discards the
+	// sparse bookkeeping.
+	SetSparse(on bool)
+	// LastGrantDense reports whether the last Allocate's backfill granted
+	// rates across the whole active set (so the engine must scan every live
+	// flow rather than just the granted coflows).
+	LastGrantDense() bool
+}
+
+// MarkSimMoved records that the coflow's progress state (remaining bytes,
+// live-flow set, or sent bytes) changed, invalidating any cached priority
+// key. The event engine calls it in sparse mode; it is harmless elsewhere.
+func (c *Coflow) MarkSimMoved() { c.sim.moved = true }
+
+// SimGranted reports whether the last sparse Allocate granted this coflow
+// nonzero rates. Meaningful only between sparse Allocate calls.
+func (c *Coflow) SimGranted() bool { return c.sim.granted }
+
+// blockedOn reports whether maddAllocate would find one of the coflow's
+// ports with no residual capacity — exactly its blocked condition, computed
+// over the same cached port sets — without touching scratch state. The
+// blocking port is memoized (validated against the live port counts, since
+// completions can drop a port from the set) so steady-state re-checks of a
+// still-blocked coflow cost O(1).
+func (c *Coflow) blockedOn(egCap, inCap []float64) bool {
+	if h := c.sim.blockEg; h >= 0 && c.sim.egCnt[h] > 0 && egCap[h] <= 0 {
+		return true
+	}
+	if h := c.sim.blockIn; h >= 0 && c.sim.inCnt[h] > 0 && inCap[h] <= 0 {
+		return true
+	}
+	for _, p := range c.sim.egPorts {
+		if egCap[p] <= 0 {
+			c.sim.blockEg = p
+			return true
+		}
+	}
+	for _, p := range c.sim.inPorts {
+		if inCap[p] <= 0 {
+			c.sim.blockIn = p
+			return true
+		}
+	}
+	return false
+}
+
+// sparseState is the per-scheduler half of the event-horizon bookkeeping:
+// the coflows granted rates by the last Allocate (for the O(granted) rate
+// reset) and whether the backfill went dense.
+type sparseState struct {
+	on      bool
+	granted []*Coflow
+	dense   bool
+}
+
+// reset zeroes the rates the previous Allocate assigned: the granted
+// coflows' live flows, or the dense reset when the backfill granted
+// everywhere. Identical to resetRates where observable — flows outside the
+// granted set already carry rate 0 (writing 0 over 0 is the identity).
+func (sp *sparseState) reset(active []*Coflow, shard ShardOptions) {
+	if sp.dense {
+		sp.dense = false
+		resetRatesSharded(active, shard)
+		for _, c := range sp.granted {
+			c.sim.granted = false
+		}
+	} else {
+		for _, c := range sp.granted {
+			c.sim.granted = false
+			for _, f := range c.sim.live {
+				f.Rate = 0
+			}
+		}
+	}
+	sp.granted = sp.granted[:0]
+}
+
+// set toggles sparse mode, discarding stale grant state on any transition.
+func (sp *sparseState) set(on bool) {
+	sp.on = on
+	sp.dense = false
+	sp.granted = sp.granted[:0]
+}
+
+// serve runs the MADD pass over the priority order with the blocked-coflow
+// skip, recording grants. Returns whether any coflow was blocked (which
+// makes the work-conserving backfill a guaranteed no-op; see file comment).
+func (sp *sparseState) serve(order []*Coflow, egCap, inCap []float64, s *allocScratch, shard ShardOptions) (anyBlocked bool) {
+	for _, c := range order {
+		if c.blockedOn(egCap, inCap) {
+			anyBlocked = true
+			continue
+		}
+		maddAllocateSharded(c, egCap, inCap, s, shard)
+		c.sim.granted = true
+		sp.granted = append(sp.granted, c)
+	}
+	return anyBlocked
+}
+
+// SetSparse implements SparseAllocator.
+func (o *orderedMADD) SetSparse(on bool) { o.sparse.set(on) }
+
+// LastGrantDense implements SparseAllocator.
+func (o *orderedMADD) LastGrantDense() bool { return o.sparse.dense }
+
+// allocateSparse is the event-horizon variant of orderedMADD.Allocate:
+// same epoch structure, with the re-key restricted to moved coflows, the
+// sort to changed keys, the MADD pass skipping blocked coflows, and the
+// backfill skipped when provably a no-op.
+func (o *orderedMADD) allocateSparse(active []*Coflow, egCap, inCap []float64) {
+	o.sparse.reset(active, o.shard)
+	o.scratch.ensure(len(egCap))
+	memb := o.ord.sync(active)
+	if memb || o.dynamic {
+		changed := memb
+		for _, c := range o.ord.order {
+			if c.sim.keyed && !c.sim.moved {
+				continue
+			}
+			k := o.key(c, &o.scratch)
+			c.sim.moved, c.sim.keyed = false, true
+			if k != c.schedKey {
+				c.schedKey = k
+				changed = true
+			}
+		}
+		if changed {
+			sortByKey(o.ord.order, false)
+		}
+	}
+	anyBlocked := o.sparse.serve(o.ord.order, egCap, inCap, &o.scratch, o.shard)
+	if o.backfill && !anyBlocked {
+		waterFillSharded(activeFlows(active, &o.scratch), egCap, inCap, &o.scratch, o.shard)
+		o.sparse.dense = true
+	}
+}
+
+// SetSparse implements SparseAllocator.
+func (a *Aalo) SetSparse(on bool) { a.sparse.set(on) }
+
+// LastGrantDense implements SparseAllocator.
+func (a *Aalo) LastGrantDense() bool { return a.sparse.dense }
+
+// allocateSparse is the event-horizon variant of Aalo.Allocate: the D-CLAS
+// queue index of a coflow whose SentBytes did not change is recomputed from
+// its cached value, and the rest follows orderedMADD.allocateSparse.
+func (a *Aalo) allocateSparse(active []*Coflow, egCap, inCap []float64) {
+	a.sparse.reset(active, a.shard)
+	a.scratch.ensure(len(egCap))
+	resort := a.ord.sync(active)
+	for _, c := range a.ord.order {
+		if c.sim.keyed && !c.sim.moved {
+			continue
+		}
+		q := float64(a.queueOf(c))
+		c.sim.moved, c.sim.keyed = false, true
+		if q != c.schedKey {
+			c.schedKey = q
+			resort = true
+		}
+	}
+	if resort {
+		sortByKey(a.ord.order, true)
+	}
+	anyBlocked := a.sparse.serve(a.ord.order, egCap, inCap, &a.scratch, a.shard)
+	if !anyBlocked {
+		waterFillSharded(activeFlows(active, &a.scratch), egCap, inCap, &a.scratch, a.shard)
+		a.sparse.dense = true
+	}
+}
+
+// EffectiveWeight returns the coflow's weight with the zero value mapped to
+// the default weight 1 (see the Weight field).
+func (c *Coflow) EffectiveWeight() float64 {
+	if c.Weight > 0 {
+		return c.Weight
+	}
+	return 1
+}

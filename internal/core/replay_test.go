@@ -1,0 +1,140 @@
+package core
+
+// ReplayStream must be a pure re-packaging of the batch path: pulling the
+// fbtrace stream through one live session — with the sparse loop and
+// completed-coflow release on — yields the exact report a dense RunInto over
+// the fully materialised trace produces. fbtrace assigns IDs in arrival
+// order, so ID-order aggregation (the released path) is input-order
+// aggregation and even the averaged fields match bit for bit.
+
+import (
+	"testing"
+
+	"ccf/internal/coflow"
+	"ccf/internal/fbtrace"
+	"ccf/internal/netsim"
+)
+
+func replaySchedulers() map[string]func() coflow.Scheduler {
+	return map[string]func() coflow.Scheduler{
+		"varys": coflow.NewVarys,
+		"aalo":  func() coflow.Scheduler { return coflow.NewAalo() },
+		"fifo":  coflow.NewFIFO,
+	}
+}
+
+func TestReplayStreamMatchesBatch(t *testing.T) {
+	for name, mk := range replaySchedulers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 4; seed++ {
+				cfg := fbtrace.Config{
+					Machines: 10, Coflows: 60,
+					MeanInterarrivalSec: 0.2, Seed: seed,
+				}
+				cfs, err := fbtrace.Generate(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fab, err := netsim.NewFabric(cfg.Machines, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := netsim.NewSimulator(fab, mk()).Run(cfs)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				st, err := fbtrace.Stream(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ReplayStream(cfg.Machines, st, ReplayOptions{
+					Scheduler:        mk(),
+					EventHorizon:     true,
+					ReleaseCompleted: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if got.Coflows != cfg.Coflows {
+					t.Errorf("seed %d: replayed %d coflows, want %d", seed, got.Coflows, cfg.Coflows)
+				}
+				if got.Makespan != want.Makespan {
+					t.Errorf("seed %d: Makespan %v != %v", seed, got.Makespan, want.Makespan)
+				}
+				if got.AvgCCT != want.AvgCCT {
+					t.Errorf("seed %d: AvgCCT %v != %v", seed, got.AvgCCT, want.AvgCCT)
+				}
+				if got.WeightedAvgCCT != want.WeightedAvgCCT {
+					t.Errorf("seed %d: WeightedAvgCCT %v != %v", seed, got.WeightedAvgCCT, want.WeightedAvgCCT)
+				}
+				if got.MaxCCT != want.MaxCCT {
+					t.Errorf("seed %d: MaxCCT %v != %v", seed, got.MaxCCT, want.MaxCCT)
+				}
+				if got.TotalBytes != want.TotalBytes {
+					t.Errorf("seed %d: TotalBytes %v != %v", seed, got.TotalBytes, want.TotalBytes)
+				}
+				if got.Epochs != want.Epochs {
+					t.Errorf("seed %d: Epochs %d != %d", seed, got.Epochs, want.Epochs)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayStreamBoundsResidency pins the memory story: with release on,
+// the session's high-water mark tracks trace *concurrency*, not length —
+// a long sparse trace must never hold every coflow at once.
+func TestReplayStreamBoundsResidency(t *testing.T) {
+	cfg := fbtrace.Config{
+		Machines: 12, Coflows: 400,
+		MeanInterarrivalSec: 2, Seed: 5,
+	}
+	st, err := fbtrace.Stream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReplayStream(cfg.Machines, st, ReplayOptions{
+		Scheduler:        coflow.NewVarys(),
+		EventHorizon:     true,
+		ReleaseCompleted: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakResident >= cfg.Coflows/2 {
+		t.Errorf("peak residency %d of %d coflows: release never bounded memory", rep.PeakResident, cfg.Coflows)
+	}
+}
+
+func TestReplayStreamValidation(t *testing.T) {
+	if _, err := ReplayStream(4, nil, ReplayOptions{}); err == nil {
+		t.Error("accepted nil source")
+	}
+	if _, err := ReplayStream(0, &sliceSource{}, ReplayOptions{}); err == nil {
+		t.Error("accepted 0-port fabric")
+	}
+	src := &sliceSource{cfs: []*coflow.Coflow{
+		coflow.New(0, "a", 5, []coflow.Flow{{ID: 0, Src: 0, Dst: 1, Size: 10}}),
+		coflow.New(1, "b", 3, []coflow.Flow{{ID: 0, Src: 1, Dst: 0, Size: 10}}),
+	}}
+	if _, err := ReplayStream(2, src, ReplayOptions{}); err == nil {
+		t.Error("accepted regressing arrivals")
+	}
+}
+
+type sliceSource struct {
+	cfs []*coflow.Coflow
+	i   int
+}
+
+func (s *sliceSource) Next() (*coflow.Coflow, bool) {
+	if s.i >= len(s.cfs) {
+		return nil, false
+	}
+	c := s.cfs[s.i]
+	s.i++
+	return c, true
+}

@@ -46,6 +46,12 @@ type Config struct {
 	MeanInterarrivalSec float64
 	Mix                 Mix // zero value = DefaultMix
 	Seed                uint64
+	// Density scales the trace: the coflow count is multiplied by it and the
+	// mean interarrival divided by it, replaying the same statistical shape
+	// at Density× load. 0 means 1 (the unscaled trace); values in (0, 1)
+	// thin the trace. At Density 1 the generated sequence is byte-identical
+	// to a Config without the field.
+	Density float64
 }
 
 // gen is the same xorshift64* generator the other packages use.
@@ -143,8 +149,42 @@ func Classify(c *coflow.Coflow) Category {
 	}
 }
 
-// Generate builds the synthetic workload.
+// Generate builds the synthetic workload by draining a Stream, so the two
+// paths draw the identical RNG sequence by construction: Generate(cfg) and
+// collecting Stream(cfg) yield the same coflows in the same order.
 func Generate(cfg Config) ([]*coflow.Coflow, error) {
+	st, err := Stream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*coflow.Coflow, 0, st.Total())
+	for {
+		c, ok := st.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, c)
+	}
+}
+
+// Streamer yields the synthetic workload one coflow at a time, in arrival
+// order, holding O(1) state between calls: at 1000× density the trace never
+// materialises as a slice. Created by Stream.
+type Streamer struct {
+	machines int
+	mean     float64
+	mix      Mix
+	g        gen
+	now      float64
+	id       int
+	total    int
+}
+
+// Stream validates cfg and returns a Streamer over the scaled trace. At
+// Density d the stream carries round(Coflows·d) coflows with mean
+// interarrival MeanInterarrivalSec/d; at d = 1 the sequence is exactly
+// Generate's.
+func Stream(cfg Config) (*Streamer, error) {
 	if cfg.Machines < 2 {
 		return nil, fmt.Errorf("fbtrace: need at least 2 machines, got %d", cfg.Machines)
 	}
@@ -154,6 +194,17 @@ func Generate(cfg Config) ([]*coflow.Coflow, error) {
 	if cfg.MeanInterarrivalSec <= 0 {
 		cfg.MeanInterarrivalSec = 1
 	}
+	density := cfg.Density
+	if density == 0 {
+		density = 1
+	}
+	if density < 0 || math.IsNaN(density) || math.IsInf(density, 0) {
+		return nil, fmt.Errorf("fbtrace: density must be positive and finite, got %g", cfg.Density)
+	}
+	total := int(math.Round(float64(cfg.Coflows) * density))
+	if total <= 0 {
+		return nil, fmt.Errorf("fbtrace: density %g thins %d coflows to zero", density, cfg.Coflows)
+	}
 	mix := cfg.Mix
 	if mix.SN+mix.LN+mix.SW+mix.LW == 0 {
 		mix = DefaultMix()
@@ -161,28 +212,43 @@ func Generate(cfg Config) ([]*coflow.Coflow, error) {
 	if s := mix.SN + mix.LN + mix.SW + mix.LW; math.Abs(s-1) > 0.01 {
 		return nil, fmt.Errorf("fbtrace: mix sums to %g, want 1", s)
 	}
-	g := &gen{state: scramble(cfg.Seed)}
+	return &Streamer{
+		machines: cfg.Machines,
+		mean:     cfg.MeanInterarrivalSec / density,
+		mix:      mix,
+		g:        gen{state: scramble(cfg.Seed)},
+		total:    total,
+	}, nil
+}
 
-	var out []*coflow.Coflow
-	now := 0.0
-	for id := 0; id < cfg.Coflows; id++ {
-		now += g.exp(cfg.MeanInterarrivalSec)
-		u := g.float()
-		var cat Category
-		switch {
-		case u < mix.SN:
-			cat = SN
-		case u < mix.SN+mix.LN:
-			cat = LN
-		case u < mix.SN+mix.LN+mix.SW:
-			cat = SW
-		default:
-			cat = LW
-		}
-		c := genCoflow(g, id, now, cat, cfg.Machines)
-		out = append(out, c)
+// Total returns the number of coflows the stream will yield in all.
+func (st *Streamer) Total() int { return st.total }
+
+// Remaining returns the number of coflows not yet yielded.
+func (st *Streamer) Remaining() int { return st.total - st.id }
+
+// Next yields the next coflow in arrival order, or (nil, false) when the
+// stream is exhausted.
+func (st *Streamer) Next() (*coflow.Coflow, bool) {
+	if st.id >= st.total {
+		return nil, false
 	}
-	return out, nil
+	st.now += st.g.exp(st.mean)
+	u := st.g.float()
+	var cat Category
+	switch {
+	case u < st.mix.SN:
+		cat = SN
+	case u < st.mix.SN+st.mix.LN:
+		cat = LN
+	case u < st.mix.SN+st.mix.LN+st.mix.SW:
+		cat = SW
+	default:
+		cat = LW
+	}
+	c := genCoflow(&st.g, st.id, st.now, cat, st.machines)
+	st.id++
+	return c, true
 }
 
 // genCoflow draws a single coflow of the given category.

@@ -1,0 +1,91 @@
+package netsim
+
+// White-box unit tests for the completion heap: minRel must return the
+// bit-exact minimum relative step (the dense dt), consuming exactly the
+// minimal-projection tie set, and report +Inf when empty.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestCompletionHeapEmpty(t *testing.T) {
+	var h completionHeap
+	if got := h.minRel(); !math.IsInf(got, 1) {
+		t.Fatalf("empty heap minRel = %v, want +Inf", got)
+	}
+	h.push(5, 5)
+	h.reset()
+	if got := h.minRel(); !math.IsInf(got, 1) {
+		t.Fatalf("reset heap minRel = %v, want +Inf", got)
+	}
+}
+
+func TestCompletionHeapMinRelExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		var h completionHeap
+		now := rng.Float64() * 1e6
+		n := 1 + rng.Intn(50)
+		rels := make([]float64, n)
+		for i := range rels {
+			rels[i] = rng.Float64() * 100
+			h.push(now+rels[i], rels[i])
+		}
+		want := math.Inf(1)
+		for _, r := range rels {
+			if r < want {
+				want = r
+			}
+		}
+		if got := h.minRel(); got != want {
+			t.Fatalf("trial %d: minRel = %v, want exact %v", trial, got, want)
+		}
+	}
+}
+
+// TestCompletionHeapTieSet pins the projection-collision case: distinct rels
+// can round to the same absolute projection (now + rel). minRel must scan
+// the whole tie set and return the smallest rel, not whichever entry the
+// heap surfaces first.
+func TestCompletionHeapTieSet(t *testing.T) {
+	var h completionHeap
+	const now = 1e16 // ulp(now) = 2, so sub-ulp rels collapse onto now
+	rels := []float64{0.9, 0.4, 0.7}
+	for _, r := range rels {
+		if now+r != now {
+			t.Fatalf("test premise broken: now+%v should project onto now", r)
+		}
+		h.push(now+r, r)
+	}
+	h.push(now+8, 8) // strictly larger projection stays behind
+	if got := h.minRel(); got != 0.4 {
+		t.Fatalf("minRel = %v, want 0.4 (min over the tie set)", got)
+	}
+	if h.len() != 1 {
+		t.Fatalf("tie set not fully consumed: %d entries left, want 1", h.len())
+	}
+}
+
+func TestCompletionHeapPopOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var h completionHeap
+	var ats []float64
+	for i := 0; i < 100; i++ {
+		at := rng.Float64() * 1000
+		ats = append(ats, at)
+		h.push(at, at)
+	}
+	sort.Float64s(ats)
+	for i, want := range ats {
+		if got := h.ent[0].at; got != want {
+			t.Fatalf("pop %d: min = %v, want %v", i, got, want)
+		}
+		h.pop()
+	}
+	if h.len() != 0 {
+		t.Fatalf("heap not drained: %d entries left", h.len())
+	}
+}

@@ -92,6 +92,10 @@ type Report struct {
 	// AvgCCT and MaxCCT aggregate over coflows.
 	AvgCCT float64
 	MaxCCT float64
+	// WeightedAvgCCT is the weight-averaged CCT, Σ wᵢ·CCTᵢ / Σ wᵢ over
+	// completed coflows (coflow.Coflow.Weight, zero meaning 1). With all
+	// weights at the default it equals AvgCCT up to summation rounding.
+	WeightedAvgCCT float64
 	// TotalBytes moved across the network, including bytes whose progress
 	// a failure later voided — the wire traffic. For a run that finishes,
 	// TotalBytes = Σ flow sizes + WastedBytes (byte conservation).
@@ -173,6 +177,24 @@ type Simulator struct {
 	// scheduler (0 selects coflow.DefaultShardMinFlows). Tests force 1 to
 	// exercise the sharded code on small workloads.
 	ShardMinFlows int
+	// EventHorizon opts the session loop into the sparse (event-horizon)
+	// engine: per-epoch cost scales with the coflows whose state changed —
+	// admission-queue prefix pops, retirement scans gated on completion
+	// edges, flow passes over the rate-granted set only, and a min-heap of
+	// projected completion times — instead of with everything active.
+	// Bit-identical to the dense path (pinned by the horizon equivalence
+	// suite); engages only for schedulers implementing
+	// coflow.SparseAllocator and for runs without Deps (anything else falls
+	// back to the dense loop). See DESIGN.md §16.
+	EventHorizon bool
+	// ReleaseCompleted lets an event-horizon session drop completed coflows
+	// from its admitted list so streamed replays run in bounded memory:
+	// after release, BacklogInto and Digest cover only retained coflows and
+	// the CCT aggregates are summed in coflow-ID order (per-coflow results
+	// stay in Report.CCTs either way). Only takes effect in sparse sessions;
+	// incompatible with Failures (recovery accounting needs the full coflow
+	// population at the end of the run).
+	ReleaseCompleted bool
 
 	// scratch holds the per-run buffers so repeated Runs (parameter sweeps,
 	// benchmarks) reuse storage instead of reallocating it. Simulators are
@@ -224,6 +246,9 @@ type runScratch struct {
 	// probeEg/probeIn snapshot the effective per-port capacities for the
 	// probe's EpochSample; filled only when a probe is attached.
 	probeEg, probeIn []float64
+	// horizon is the sparse loop's min-heap of projected flow-completion
+	// times (see horizon.go); untouched by the dense loop.
+	horizon completionHeap
 }
 
 // CapacityEvent rescales one port's capacities at a point in time. Factors
@@ -340,6 +365,9 @@ func (s *Simulator) applyPortDown(tr failTransition, now float64, active []*cofl
 			out.WastedBytes += prog
 			rep.WastedBytes += prog
 			f.Remaining = f.Size
+			// Voided progress changes the coflow's remaining-byte state, so
+			// sparse-mode priority-key caches must be invalidated.
+			f.Coflow.MarkSimMoved()
 			bumpRestart(rep, f.Coflow.ID)
 			restarted = true
 		}

@@ -47,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"ccf/internal/coflow"
 )
@@ -74,6 +75,20 @@ type Session struct {
 	begun    bool
 	finished bool
 	err      error
+
+	// Event-horizon (sparse) mode: set at begin when the simulator opts in,
+	// the scheduler implements coflow.SparseAllocator, and the run has no
+	// Deps. The loop then dispatches to loopSparse (horizon.go).
+	sparse bool
+	sa     coflow.SparseAllocator
+	// release mirrors Simulator.ReleaseCompleted for this session; released
+	// counts coflows dropped from `all`, and relWeights retains completed
+	// coflows' weights for the finalize aggregates (their CCTs live on in
+	// rep.CCTs). relWeights storage is reused across sessions; the flag, not
+	// the map, gates releasing.
+	release    bool
+	released   int
+	relWeights map[int]float64
 }
 
 // Session begins a resumable simulation session on the simulator, abandoning
@@ -102,13 +117,14 @@ func (ss *Session) begin(s *Simulator, rep *Report) error {
 	ports := s.fabric.Ports
 	sc := &s.scratch
 	*ss = Session{
-		s:       s,
-		ownRep:  ss.ownRep,
-		pending: ss.pending[:0],
-		active:  ss.active[:0],
-		live:    ss.live[:0],
-		all:     ss.all[:0],
-		begun:   true,
+		s:          s,
+		ownRep:     ss.ownRep,
+		pending:    ss.pending[:0],
+		active:     ss.active[:0],
+		live:       ss.live[:0],
+		all:        ss.all[:0],
+		relWeights: ss.relWeights,
+		begun:      true,
 	}
 	if rep == nil {
 		rep = &ss.ownRep
@@ -170,6 +186,30 @@ func (ss *Session) begin(s *Simulator, rep *Report) error {
 	// simulators must not keep stale sharding) the Tier-2 shard config.
 	if st, ok := s.sched.(coflow.ShardTunable); ok {
 		st.SetShard(s.shardOptions())
+	}
+	// Event-horizon mode: sparse only when the simulator opts in, the run
+	// has no dependency graph (admission must be a pure arrival-order prefix
+	// pop), and the scheduler upholds the sparse contract. Like the shard
+	// config, the toggle is propagated unconditionally so a scheduler reused
+	// on a dense simulator drops its sparse bookkeeping.
+	ss.sparse = s.EventHorizon && len(s.Deps) == 0
+	if sa, ok := s.sched.(coflow.SparseAllocator); ok {
+		ss.sa = sa
+		sa.SetSparse(ss.sparse)
+	} else {
+		ss.sa = nil
+		ss.sparse = false
+	}
+	ss.release = s.ReleaseCompleted
+	if ss.release {
+		if len(s.Failures) > 0 {
+			return errors.New("netsim: ReleaseCompleted is incompatible with Failures (recovery accounting needs the full coflow set)")
+		}
+		if ss.relWeights == nil {
+			ss.relWeights = make(map[int]float64)
+		} else {
+			clear(ss.relWeights)
+		}
 	}
 	if s.Probe != nil && len(sc.probeEg) < ports {
 		sc.probeEg = make([]float64, ports)
@@ -442,6 +482,9 @@ func (s *Simulator) depsDone(c *coflow.Coflow, completed map[int]bool) bool {
 // resume; the float arithmetic is untouched and stays allocation-free at
 // steady state.
 func (ss *Session) loop(stop float64) error {
+	if ss.sparse {
+		return ss.loopSparse(stop)
+	}
 	s := ss.s
 	sc := &s.scratch
 	rep := ss.rep
@@ -728,12 +771,20 @@ func (ss *Session) loop(stop float64) error {
 func (ss *Session) finalize(coflows []*coflow.Coflow) {
 	rep := ss.rep
 	rep.Makespan = ss.now
+	if ss.released > 0 {
+		ss.finalizeReleased()
+		return
+	}
+	var wsum float64
 	for _, c := range coflows {
 		cct, ok := rep.CCTs[c.ID]
 		if !ok {
 			continue
 		}
 		rep.AvgCCT += cct
+		w := c.EffectiveWeight()
+		rep.WeightedAvgCCT += w * cct
+		wsum += w
 		if cct > rep.MaxCCT {
 			rep.MaxCCT = cct
 		}
@@ -741,8 +792,50 @@ func (ss *Session) finalize(coflows []*coflow.Coflow) {
 	if len(rep.CCTs) > 0 {
 		rep.AvgCCT /= float64(len(rep.CCTs))
 	}
+	if wsum > 0 {
+		rep.WeightedAvgCCT /= wsum
+	}
 	if ss.haveFail {
 		finalizeFailures(rep, coflows)
+	}
+	if ss.s.Probe != nil {
+		ss.s.Probe.EndRun(ss.now)
+	}
+	ss.finished = true
+}
+
+// finalizeReleased aggregates a session that dropped completed coflows under
+// ReleaseCompleted: the coflow objects are gone, so the CCT sums run over
+// rep.CCTs in ascending coflow-ID order (deterministic, and equal to the
+// input-order sum whenever IDs are assigned in arrival order — the trace
+// replay convention) with the weights retained at release time. Failures are
+// excluded from released sessions at begin, so no recovery pass runs.
+func (ss *Session) finalizeReleased() {
+	rep := ss.rep
+	ids := make([]int, 0, len(rep.CCTs))
+	for id := range rep.CCTs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var wsum float64
+	for _, id := range ids {
+		cct := rep.CCTs[id]
+		rep.AvgCCT += cct
+		w, ok := ss.relWeights[id]
+		if !ok {
+			w = 1
+		}
+		rep.WeightedAvgCCT += w * cct
+		wsum += w
+		if cct > rep.MaxCCT {
+			rep.MaxCCT = cct
+		}
+	}
+	if len(ids) > 0 {
+		rep.AvgCCT /= float64(len(ids))
+	}
+	if wsum > 0 {
+		rep.WeightedAvgCCT /= wsum
 	}
 	if ss.s.Probe != nil {
 		ss.s.Probe.EndRun(ss.now)
